@@ -1,0 +1,264 @@
+// Command ecqvtool is a certificate-lifecycle utility for the ECQV
+// implicit-certificate scheme: create a CA, issue device certificates,
+// inspect them, and extract their implicit public keys.
+//
+// Key and certificate files are hex-encoded single-line files (this is
+// a research tool; production deployments would use an HSM-backed
+// store).
+//
+// Usage:
+//
+//	ecqvtool ca -out ca.hex [-id my-ca] [-curve secp256r1]
+//	ecqvtool issue -ca ca.hex -subject device-1 -out device-1
+//	ecqvtool inspect -cert device-1.cert
+//	ecqvtool pubkey -ca ca.hex -cert device-1.cert
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"log"
+	"math/big"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/ec"
+	"repro/internal/ecdsa"
+	"repro/internal/ecqv"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ecqvtool: ")
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "ca":
+		cmdCA(os.Args[2:])
+	case "issue":
+		cmdIssue(os.Args[2:])
+	case "inspect":
+		cmdInspect(os.Args[2:])
+	case "pubkey":
+		cmdPubkey(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: ecqvtool {ca|issue|inspect|pubkey} [flags]")
+	os.Exit(2)
+}
+
+// caFile is the persisted CA state: curve, id, private scalar (hex),
+// next serial — one token per line.
+func writeCAFile(path string, ca *ecqv.CA) error {
+	content := fmt.Sprintf("%s\n%s\n%s\n%d\n",
+		ca.Curve.Name, ca.ID, hex.EncodeToString(ca.Curve.ScalarToBytes(ca.PrivateKey())), ca.NextSerial())
+	return os.WriteFile(path, []byte(content), 0o600)
+}
+
+func readCAFile(path string) (*ecqv.CA, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) < 4 {
+		return nil, fmt.Errorf("malformed CA file %s", path)
+	}
+	curve, err := ec.CurveByName(lines[0])
+	if err != nil {
+		return nil, err
+	}
+	keyBytes, err := hex.DecodeString(lines[2])
+	if err != nil {
+		return nil, fmt.Errorf("CA key: %w", err)
+	}
+	var serial uint64
+	if _, err := fmt.Sscanf(lines[3], "%d", &serial); err != nil {
+		return nil, fmt.Errorf("CA serial: %w", err)
+	}
+	return ecqv.NewCAFromKey(curve, ecqv.NewID(lines[1]), new(big.Int).SetBytes(keyBytes), serial, nil)
+}
+
+func cmdCA(args []string) {
+	fs := flag.NewFlagSet("ca", flag.ExitOnError)
+	out := fs.String("out", "ca.hex", "CA state file to create")
+	id := fs.String("id", "central-authority", "CA identity")
+	curveName := fs.String("curve", "secp256r1", "elliptic curve")
+	fs.Parse(args)
+
+	curve, err := ec.CurveByName(*curveName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ca, err := ecqv.NewCA(curve, ecqv.NewID(*id), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := writeCAFile(*out, ca); err != nil {
+		log.Fatal(err)
+	}
+	pub := curve.EncodeCompressed(ca.PublicKey())
+	fmt.Printf("created CA %q on %s\n  state:      %s\n  public key: %s\n",
+		*id, curve.Name, *out, hex.EncodeToString(pub))
+}
+
+func cmdIssue(args []string) {
+	fs := flag.NewFlagSet("issue", flag.ExitOnError)
+	caPath := fs.String("ca", "ca.hex", "CA state file")
+	subject := fs.String("subject", "", "subject identity (required)")
+	out := fs.String("out", "", "output prefix (default: subject name)")
+	days := fs.Int("days", 1, "validity in days")
+	fs.Parse(args)
+	if *subject == "" {
+		log.Fatal("issue: -subject is required")
+	}
+	prefix := *out
+	if prefix == "" {
+		prefix = *subject
+	}
+
+	ca, err := readCAFile(*caPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Full issuance: the device-side request and reconstruction run
+	// here too, so the output contains the usable private key.
+	req, sec, err := ecqv.NewRequest(ca.Curve, ecqv.NewID(*subject), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	now := time.Now().Truncate(time.Second)
+	resp, err := ca.Issue(req, ecqv.IssueParams{
+		ValidFrom: now,
+		ValidTo:   now.Add(time.Duration(*days) * 24 * time.Hour),
+		KeyUsage:  ecqv.UsageKeyAgreement | ecqv.UsageSignature,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	priv, pub, err := ecqv.ReconstructPrivateKey(sec, resp, ca.PublicKey())
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Persist the advanced serial counter.
+	if err := writeCAFile(*caPath, ca); err != nil {
+		log.Fatal(err)
+	}
+
+	certPath := prefix + ".cert"
+	keyPath := prefix + ".key"
+	if err := os.WriteFile(certPath, []byte(hex.EncodeToString(resp.Cert.Encode())+"\n"), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(keyPath, []byte(hex.EncodeToString(ca.Curve.ScalarToBytes(priv))+"\n"), 0o600); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("issued certificate for %q (serial %d)\n  cert: %s (%d bytes)\n  key:  %s\n  pub:  %s\n",
+		*subject, resp.Cert.Serial, certPath, len(resp.Cert.Encode()), keyPath,
+		hex.EncodeToString(ca.Curve.EncodeCompressed(pub)))
+}
+
+func readCert(path string) (*ecqv.Certificate, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := hex.DecodeString(strings.TrimSpace(string(data)))
+	if err != nil {
+		return nil, fmt.Errorf("certificate hex: %w", err)
+	}
+	return ecqv.Decode(raw)
+}
+
+func cmdInspect(args []string) {
+	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
+	certPath := fs.String("cert", "", "certificate file (required)")
+	fs.Parse(args)
+	if *certPath == "" {
+		log.Fatal("inspect: -cert is required")
+	}
+	cert, err := readCert(*certPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ECQV implicit certificate (%d bytes)\n", len(cert.Encode()))
+	fmt.Printf("  curve:      %s\n", cert.Curve.Name)
+	fmt.Printf("  version:    %d\n", cert.Version)
+	fmt.Printf("  serial:     %d\n", cert.Serial)
+	fmt.Printf("  subject:    %s\n", cert.SubjectID)
+	fmt.Printf("  issuer:     %s\n", cert.IssuerID)
+	fmt.Printf("  not before: %s\n", time.Unix(cert.ValidFrom, 0).UTC().Format(time.RFC3339))
+	fmt.Printf("  not after:  %s\n", time.Unix(cert.ValidTo, 0).UTC().Format(time.RFC3339))
+	fmt.Printf("  key usage:  %s\n", usageString(cert.KeyUsage))
+	fmt.Printf("  recon pt:   %s\n", hex.EncodeToString(cert.Curve.EncodeCompressed(cert.PubRecon)))
+	fmt.Printf("  valid now:  %v\n", cert.ValidAt(time.Now()))
+}
+
+func usageString(u ecqv.KeyUsage) string {
+	var parts []string
+	if u&ecqv.UsageKeyAgreement != 0 {
+		parts = append(parts, "keyAgreement")
+	}
+	if u&ecqv.UsageSignature != 0 {
+		parts = append(parts, "signature")
+	}
+	if len(parts) == 0 {
+		return "(none)"
+	}
+	return strings.Join(parts, ", ")
+}
+
+func cmdPubkey(args []string) {
+	fs := flag.NewFlagSet("pubkey", flag.ExitOnError)
+	caPath := fs.String("ca", "ca.hex", "CA state file")
+	certPath := fs.String("cert", "", "certificate file (required)")
+	keyPath := fs.String("key", "", "optional private key file to verify against")
+	fs.Parse(args)
+	if *certPath == "" {
+		log.Fatal("pubkey: -cert is required")
+	}
+	ca, err := readCAFile(*caPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cert, err := readCert(*certPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pub, err := ecqv.ExtractPublicKey(cert, ca.PublicKey())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("implicit public key: %s\n", hex.EncodeToString(cert.Curve.EncodeCompressed(pub)))
+
+	if *keyPath != "" {
+		data, err := os.ReadFile(*keyPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		raw, err := hex.DecodeString(strings.TrimSpace(string(data)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		d, err := cert.Curve.ScalarFromBytes(raw)
+		if err != nil {
+			log.Fatal(err)
+		}
+		key, err := ecdsa.NewPrivateKey(cert.Curve, d)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if key.Q.Equal(pub) {
+			fmt.Println("private key matches the certificate ✓")
+		} else {
+			log.Fatal("private key does NOT match the certificate")
+		}
+	}
+}

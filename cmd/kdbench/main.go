@@ -1,0 +1,179 @@
+// Command kdbench regenerates the execution-time experiments of the
+// paper: Table I (KD protocol times across four devices), Figure 3
+// (per-operation STS times on the STM32F767) and Figure 4 (total KD
+// processing-time comparison on the STM32F767).
+//
+// Usage:
+//
+//	kdbench            # everything
+//	kdbench -table 1   # Table I only
+//	kdbench -figure 3  # Figure 3 only
+//	kdbench -figure 4  # Figure 4 only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/hwmodel"
+	"repro/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("kdbench: ")
+	table := flag.Int("table", 0, "regenerate only the given table (1)")
+	figure := flag.Int("figure", 0, "regenerate only the given figure (3 or 4)")
+	hsm := flag.Bool("hsm", false, "print the §VI future-work experiment (hardware accelerators)")
+	sweep := flag.Bool("sweep", false, "print the curve security-level sweep")
+	flag.Parse()
+
+	model, err := hwmodel.New()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	all := *table == 0 && *figure == 0 && !*hsm && !*sweep
+	if all || *table == 1 {
+		printTable1(model)
+	}
+	if all || *figure == 3 {
+		printFigure3(model)
+	}
+	if all || *figure == 4 {
+		printFigure4(model)
+	}
+	if all || *hsm {
+		printFutureWork(model)
+	}
+	if all || *sweep {
+		printCurveSweep(model)
+	}
+}
+
+func printFutureWork(model *hwmodel.Model) {
+	report.Section(os.Stdout, "Future work (§VI) — KD times with hardware accelerators (ms)")
+	table, err := model.FutureWorkTable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	t := &report.Table{Header: []string{"Device", "S-ECDSA", "STS", "STS (opt. II)", "STS − S-ECDSA"}}
+	order := []string{
+		"ATmega2560", "ATmega2560+secure-element", "ATmega2560+on-die-pka",
+		"S32K144", "S32K144+secure-element", "S32K144+on-die-pka",
+		"STM32F767", "STM32F767+secure-element", "STM32F767+on-die-pka",
+		"RaspberryPi4", "RaspberryPi4+on-die-pka",
+	}
+	for _, name := range order {
+		row, ok := table[name]
+		if !ok {
+			continue
+		}
+		t.AddRow(name,
+			fmt.Sprintf("%.1f", row["S-ECDSA"]),
+			fmt.Sprintf("%.1f", row["STS"]),
+			fmt.Sprintf("%.1f", row["STS (opt. II)"]),
+			fmt.Sprintf("%.1f", row["STS"]-row["S-ECDSA"]),
+		)
+	}
+	t.Render(os.Stdout)
+	fmt.Println("\n  with EC offload the absolute DKD surcharge collapses, supporting the")
+	fmt.Println("  paper's closing hypothesis about security modules and accelerators.")
+}
+
+func printCurveSweep(model *hwmodel.Model) {
+	report.Section(os.Stdout, "Curve sweep — STS cost vs security level on the STM32F767")
+	dev, err := model.Device("STM32F767")
+	if err != nil {
+		log.Fatal(err)
+	}
+	t := &report.Table{Header: []string{"Curve", "STS time (ms)", "STS opt II (ms)", "wire bytes"}}
+	rows, err := model.CurveSweep(core.NewSTS(core.OptNone), dev)
+	if err != nil {
+		log.Fatal(err)
+	}
+	optRows, err := model.CurveSweep(core.NewSTS(core.OptII), dev)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, r := range rows {
+		t.AddRow(r.Curve,
+			fmt.Sprintf("%.1f", r.TimeMS),
+			fmt.Sprintf("%.1f", optRows[i].TimeMS),
+			fmt.Sprintf("%d", r.WireBytes))
+	}
+	t.Render(os.Stdout)
+}
+
+func printTable1(model *hwmodel.Model) {
+	report.Section(os.Stdout, "Table I — execution time of the KD protocols (ms), modelled vs paper")
+	modelled, err := model.Table1()
+	if err != nil {
+		log.Fatal(err)
+	}
+	t := &report.Table{
+		Header: []string{"Protocol / Device", "ATmega2560", "S32K144", "STM32F767", "RaspberryPi4"},
+	}
+	for _, p := range core.Protocols() {
+		row := []string{p.Name()}
+		for _, dev := range model.Devices() {
+			got := modelled[p.Name()][dev.Name]
+			paper := hwmodel.PaperTable1[p.Name()][dev.Name]
+			row = append(row, fmt.Sprintf("%.1f (paper %.1f)", got, paper))
+		}
+		t.AddRow(row...)
+	}
+	t.Render(os.Stdout)
+	fmt.Println("\n  note: S-ECDSA is the calibration row (matches by construction);")
+	fmt.Println("  every other cell is a model prediction.")
+}
+
+func printFigure3(model *hwmodel.Model) {
+	report.Section(os.Stdout, "Figure 3 — individual STS operation times on the STM32F767 (ms)")
+	dev, err := model.Device("STM32F767")
+	if err != nil {
+		log.Fatal(err)
+	}
+	trace, err := model.ReferenceTrace("STS")
+	if err != nil {
+		log.Fatal(err)
+	}
+	phases := model.PhaseMS(trace, dev)
+
+	labels := map[core.Phase]string{
+		core.PhaseOp1: "Op1 (XG request)",
+		core.PhaseOp2: "Op2 (pubkey+premaster)",
+		core.PhaseOp3: "Op3 (sign+encrypt)",
+		core.PhaseOp4: "Op4 (decrypt+verify)",
+	}
+	maxMS := 0.0
+	for _, ph := range core.Phases() {
+		if v := phases[core.RoleA][ph]; v > maxMS {
+			maxMS = v
+		}
+	}
+	for _, ph := range core.Phases() {
+		report.Bar(os.Stdout, labels[ph], phases[core.RoleA][ph], maxMS, 40, "ms")
+	}
+	fmt.Println("\n  (initiator side; the responder is symmetric)")
+}
+
+func printFigure4(model *hwmodel.Model) {
+	report.Section(os.Stdout, "Figure 4 — total KD protocol processing time on the STM32F767 (ms)")
+	modelled, err := model.Table1()
+	if err != nil {
+		log.Fatal(err)
+	}
+	maxMS := 0.0
+	for _, p := range core.Protocols() {
+		if v := modelled[p.Name()]["STM32F767"]; v > maxMS {
+			maxMS = v
+		}
+	}
+	for _, p := range core.Protocols() {
+		report.Bar(os.Stdout, p.Name(), modelled[p.Name()]["STM32F767"], maxMS, 40, "ms")
+	}
+}

@@ -1,0 +1,85 @@
+// BMS ↔ EVCC: the paper's automotive prototype scenario (§V-C). A
+// battery management system and an electric-vehicle charging
+// controller — both modelled as S32K144 microcontrollers — establish a
+// secure session over CAN-FD with ISO-TP fragmentation, once with the
+// proposed STS dynamic KD and once with the static ECDSA baseline,
+// then exchange charging telemetry.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/ecqvsts"
+	"repro/internal/hwmodel"
+	"repro/internal/prototype"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// --- Fig. 7 timing comparison on the modelled hardware.
+	model, err := hwmodel.New()
+	if err != nil {
+		log.Fatal(err)
+	}
+	cmp, err := prototype.Compare(model, "S32K144")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("BMS ↔ EVCC session establishment over CAN-FD (S32K144 pair):")
+	for _, tl := range []*prototype.Timeline{cmp.STS, cmp.SECDSA} {
+		fmt.Printf("  %-8s processing %6.3f s + wire %5.3f ms = total %6.3f s (%d CAN-FD frames)\n",
+			tl.Protocol, tl.Processing.Seconds(),
+			float64(tl.Wire.Microseconds())/1000, tl.Total.Seconds(), tl.BusStats.Frames)
+	}
+	fmt.Printf("  STS costs %.1f %% more than static ECDSA (paper: 21.67 %%) and adds forward secrecy\n\n",
+		cmp.IncreasePct)
+
+	// --- Live session: actual cryptography between the two ECUs.
+	authority, err := ecqvsts.NewAuthority()
+	if err != nil {
+		log.Fatal(err)
+	}
+	bms, err := authority.Enroll("bms-controller")
+	if err != nil {
+		log.Fatal(err)
+	}
+	evcc, err := authority.Enroll("evcc-controller")
+	if err != nil {
+		log.Fatal(err)
+	}
+	session, err := ecqvsts.Establish(ecqvsts.STS, evcc, bms)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Charging loop telemetry, protected under the fresh session key.
+	frames := []string{
+		"charge request: 11 kW, target SoC 80 %",
+		"cell block 3: 3.97 V, 24.1 C",
+		"charge current ramp: 16 A -> 28 A",
+		"contactor state: closed, isolation ok",
+	}
+	fmt.Println("protected charging telemetry:")
+	for i, f := range frames {
+		aad := []byte{byte(i)}
+		ct, err := session.Seal([]byte(f), aad)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pt, err := session.Open(ct, aad)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  frame %d: %3d B sealed -> ok: %q\n", i, len(ct), pt)
+	}
+
+	// A new charging session (e.g. next plug-in) re-keys: the
+	// certificate session persists, the communication session key does
+	// not.
+	if _, err := ecqvsts.Establish(ecqvsts.STS, evcc, bms); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nre-keyed for the next charging session — same certificates, fresh key")
+}

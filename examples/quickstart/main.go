@@ -1,0 +1,65 @@
+// Quickstart: enroll two devices with a central authority, establish a
+// dynamic (forward-secret) session with the STS-ECQV protocol and
+// exchange an authenticated, encrypted message.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/ecqvsts"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Stage 1–2 (Fig. 1): the central authority enrolls both devices,
+	// deriving their ECQV implicit certificates.
+	authority, err := ecqvsts.NewAuthority()
+	if err != nil {
+		log.Fatal(err)
+	}
+	alice, err := authority.Enroll("alice")
+	if err != nil {
+		log.Fatal(err)
+	}
+	bob, err := authority.Enroll("bob")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("enrolled %q and %q — implicit certificates of %d bytes each\n",
+		alice.ID(), bob.ID(), len(alice.Certificate()))
+
+	// Stage 3: establish a session with the paper's dynamic key
+	// derivation.
+	session, err := ecqvsts.Establish(ecqvsts.STS, alice, bob)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("session established via %s: %d handshake steps, %d bytes on the wire, forward secrecy: %v\n",
+		session.KD, session.Steps, session.Bytes, session.Dynamic)
+
+	// Exchange protected application data.
+	plaintext := []byte("battery pack temperature 23.4 C, SoC 87 %")
+	sealed, err := session.Seal(plaintext, []byte("telemetry"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	opened, err := session.Open(sealed, []byte("telemetry"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sealed %d B -> %d B, opened: %q\n", len(plaintext), len(sealed), opened)
+
+	// Each new session derives an independent key: traffic sealed in
+	// this session is not decryptable in the next one.
+	next, err := ecqvsts.Establish(ecqvsts.STS, alice, bob)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := next.Open(sealed, []byte("telemetry")); err != nil {
+		fmt.Println("a fresh session cannot decrypt earlier traffic — ephemeral keys confirmed")
+	} else {
+		log.Fatal("unexpected: session keys were reused")
+	}
+}

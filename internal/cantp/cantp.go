@@ -1,0 +1,239 @@
+// Package cantp implements the ISO 15765-2 transport protocol
+// ("CAN-TP" / ISO-TP) over CAN-FD: segmentation of application
+// messages into SingleFrame / FirstFrame / ConsecutiveFrame sequences
+// with FlowControl handshakes, and the matching reassembly state
+// machine.
+//
+// The paper's prototype (§V-C) layers exactly this stack under the
+// session protocol: "The test suite uses the CAN-FD derivation with an
+// implemented CAN-TP layer for message fragmentation [20]". Certificate
+// and signature payloads (101–300 bytes) do not fit a single 64-byte
+// CAN-FD frame, so every protocol message of Table II crosses this
+// layer.
+package cantp
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/canbus"
+)
+
+// PCI frame types (ISO 15765-2 §9.4).
+const (
+	pciSingle byte = 0x0
+	pciFirst  byte = 0x1
+	pciConsec byte = 0x2
+	pciFlow   byte = 0x3
+)
+
+// FlowStatus values carried by FlowControl frames.
+type FlowStatus byte
+
+const (
+	// FlowContinue clears the sender to transmit the next block.
+	FlowContinue FlowStatus = 0
+	// FlowWait asks the sender to pause.
+	FlowWait FlowStatus = 1
+	// FlowOverflow aborts the transfer.
+	FlowOverflow FlowStatus = 2
+)
+
+// frameLen is the CAN-FD payload size used for all TP frames.
+const frameLen = canbus.MaxDataLen
+
+// MaxMessageLen is the largest message expressible by the 12-bit
+// FirstFrame length field used here (the escape to 32-bit lengths is
+// not needed by any protocol message of the paper).
+const MaxMessageLen = 0xFFF
+
+// maxSingle is the largest payload of an FD SingleFrame with the
+// escape PCI (byte0 = 0x00, byte1 = length).
+const maxSingle = frameLen - 2
+
+// Errors surfaced by the reassembler.
+var (
+	ErrTooLong       = fmt.Errorf("cantp: message exceeds %d bytes", MaxMessageLen)
+	ErrUnexpected    = errors.New("cantp: unexpected frame for reassembly state")
+	ErrBadSequence   = errors.New("cantp: consecutive frame sequence error")
+	ErrBadPCI        = errors.New("cantp: malformed protocol control information")
+	ErrLengthInvalid = errors.New("cantp: length field invalid")
+)
+
+// Segment splits msg into ISO-TP frame payloads. The first returned
+// payload is a SingleFrame when the whole message fits, otherwise a
+// FirstFrame followed by ConsecutiveFrames. FlowControl frames are
+// inserted by the receiving side (see Reassembler.FlowControlNeeded);
+// Segment produces only the sender's data frames.
+func Segment(msg []byte) ([][]byte, error) {
+	if len(msg) > MaxMessageLen {
+		return nil, ErrTooLong
+	}
+	if len(msg) <= maxSingle {
+		// FD single frame, escape form: [0x00, len, data...].
+		out := make([]byte, 2+len(msg))
+		out[0] = pciSingle << 4
+		out[1] = byte(len(msg))
+		copy(out[2:], msg)
+		return [][]byte{out}, nil
+	}
+
+	// FirstFrame: [0x1L, LL, data...], 12-bit length, 62 data bytes.
+	frames := make([][]byte, 0, 1+(len(msg)-maxSingle)/(frameLen-1)+1)
+	ff := make([]byte, frameLen)
+	ff[0] = pciFirst<<4 | byte(len(msg)>>8)
+	ff[1] = byte(len(msg))
+	n := copy(ff[2:], msg)
+	frames = append(frames, ff)
+	rest := msg[n:]
+
+	seq := byte(1)
+	for len(rest) > 0 {
+		take := frameLen - 1
+		if take > len(rest) {
+			take = len(rest)
+		}
+		cf := make([]byte, 1+take)
+		cf[0] = pciConsec<<4 | seq
+		copy(cf[1:], rest[:take])
+		frames = append(frames, cf)
+		rest = rest[take:]
+		seq = (seq + 1) & 0x0F
+	}
+	return frames, nil
+}
+
+// FlowControlFrame builds a FlowControl payload with the given status,
+// block size and minimum separation time (raw STmin byte).
+func FlowControlFrame(status FlowStatus, blockSize, stMin byte) []byte {
+	return []byte{pciFlow<<4 | byte(status), blockSize, stMin}
+}
+
+// ParseFlowControl decodes a FlowControl payload.
+func ParseFlowControl(data []byte) (FlowStatus, byte, byte, error) {
+	if len(data) < 3 || data[0]>>4 != pciFlow {
+		return 0, 0, 0, ErrBadPCI
+	}
+	status := FlowStatus(data[0] & 0x0F)
+	if status > FlowOverflow {
+		return 0, 0, 0, fmt.Errorf("%w: flow status %d", ErrBadPCI, status)
+	}
+	return status, data[1], data[2], nil
+}
+
+// Reassembler rebuilds one message from a frame sequence. A zero value
+// is ready for a new message.
+type Reassembler struct {
+	buf       []byte
+	want      int
+	nextSeq   byte
+	active    bool
+	needsFlow bool
+}
+
+// Reset discards any partial state.
+func (r *Reassembler) Reset() { *r = Reassembler{} }
+
+// Active reports whether a multi-frame transfer is in progress.
+func (r *Reassembler) Active() bool { return r.active }
+
+// FlowControlNeeded reports whether the caller should send a
+// FlowControl(Continue) to the peer (set after a FirstFrame), and
+// clears the flag.
+func (r *Reassembler) FlowControlNeeded() bool {
+	need := r.needsFlow
+	r.needsFlow = false
+	return need
+}
+
+// Push feeds one received frame payload. It returns the completed
+// message when the final frame arrives, or nil while the transfer is
+// still in progress.
+func (r *Reassembler) Push(data []byte) ([]byte, error) {
+	if len(data) == 0 {
+		return nil, ErrBadPCI
+	}
+	switch data[0] >> 4 {
+	case pciSingle:
+		if r.active {
+			return nil, fmt.Errorf("%w: single frame during multi-frame transfer", ErrUnexpected)
+		}
+		// Escape form only (FD): byte0 low nibble must be 0.
+		if data[0]&0x0F != 0 {
+			// Classic form: low nibble is the length (≤ 7 bytes).
+			n := int(data[0] & 0x0F)
+			if n > 7 || len(data) < 1+n {
+				return nil, ErrLengthInvalid
+			}
+			return append([]byte(nil), data[1:1+n]...), nil
+		}
+		if len(data) < 2 {
+			return nil, ErrBadPCI
+		}
+		n := int(data[1])
+		if n == 0 || n > maxSingle || len(data) < 2+n {
+			return nil, ErrLengthInvalid
+		}
+		return append([]byte(nil), data[2:2+n]...), nil
+
+	case pciFirst:
+		if r.active {
+			return nil, fmt.Errorf("%w: first frame during multi-frame transfer", ErrUnexpected)
+		}
+		if len(data) < 3 {
+			return nil, ErrBadPCI
+		}
+		total := int(data[0]&0x0F)<<8 | int(data[1])
+		if total <= maxSingle || total > MaxMessageLen {
+			return nil, ErrLengthInvalid
+		}
+		r.buf = append([]byte(nil), data[2:]...)
+		r.want = total
+		r.nextSeq = 1
+		r.active = true
+		r.needsFlow = true
+		if len(r.buf) > total {
+			r.buf = r.buf[:total] // DLC padding past the message end
+		}
+		return nil, nil
+
+	case pciConsec:
+		if !r.active {
+			return nil, fmt.Errorf("%w: consecutive frame without first frame", ErrUnexpected)
+		}
+		seq := data[0] & 0x0F
+		if seq != r.nextSeq {
+			r.Reset()
+			return nil, fmt.Errorf("%w: got %d", ErrBadSequence, seq)
+		}
+		r.nextSeq = (r.nextSeq + 1) & 0x0F
+		r.buf = append(r.buf, data[1:]...)
+		if len(r.buf) >= r.want {
+			msg := r.buf[:r.want]
+			r.Reset()
+			return msg, nil
+		}
+		return nil, nil
+
+	case pciFlow:
+		// Flow control is handled by the sender path; receiving one
+		// here is a protocol confusion.
+		return nil, fmt.Errorf("%w: flow control on data path", ErrUnexpected)
+	}
+	return nil, fmt.Errorf("%w: PCI type %#x", ErrBadPCI, data[0]>>4)
+}
+
+// FrameCount returns how many data frames Segment will produce for a
+// message of length n, plus whether a FlowControl exchange occurs.
+// Used by the overhead accounting of Table II and the Fig. 7 timeline.
+func FrameCount(n int) (dataFrames int, flowControl bool, err error) {
+	if n > MaxMessageLen {
+		return 0, false, ErrTooLong
+	}
+	if n <= maxSingle {
+		return 1, false, nil
+	}
+	rest := n - (frameLen - 2)
+	cf := (rest + frameLen - 2) / (frameLen - 1)
+	return 1 + cf, true, nil
+}

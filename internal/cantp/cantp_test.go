@@ -1,0 +1,302 @@
+package cantp
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func testMsg(n int) []byte {
+	msg := make([]byte, n)
+	for i := range msg {
+		msg[i] = byte(i * 13)
+	}
+	return msg
+}
+
+// reassemble pushes a frame sequence through a fresh Reassembler.
+func reassemble(t *testing.T, frames [][]byte) ([]byte, error) {
+	t.Helper()
+	var r Reassembler
+	for i, f := range frames {
+		msg, err := r.Push(f)
+		if err != nil {
+			return nil, err
+		}
+		if msg != nil {
+			if i != len(frames)-1 {
+				t.Fatalf("message completed at frame %d of %d", i+1, len(frames))
+			}
+			return msg, nil
+		}
+	}
+	return nil, errors.New("transfer incomplete")
+}
+
+func TestSegmentReassembleRoundTrip(t *testing.T) {
+	sizes := []int{1, 7, 8, 61, 62, 63, 64, 100, 127, 200, 491, 1024, 4095}
+	for _, n := range sizes {
+		msg := testMsg(n)
+		frames, err := Segment(msg)
+		if err != nil {
+			t.Fatalf("size %d: %v", n, err)
+		}
+		got, err := reassemble(t, frames)
+		if err != nil {
+			t.Fatalf("size %d: %v", n, err)
+		}
+		if !bytes.Equal(got, msg) {
+			t.Fatalf("size %d: round trip mismatch", n)
+		}
+
+		// Frame count matches the static accounting.
+		want, fc, err := FrameCount(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(frames) != want {
+			t.Errorf("size %d: %d frames, accounting says %d", n, len(frames), want)
+		}
+		if fc != (n > maxSingle) {
+			t.Errorf("size %d: flow control flag %v", n, fc)
+		}
+	}
+}
+
+func TestSegmentBoundaries(t *testing.T) {
+	// ≤ 62 bytes: exactly one single frame.
+	frames, err := Segment(testMsg(maxSingle))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 1 {
+		t.Errorf("%d-byte message used %d frames", maxSingle, len(frames))
+	}
+	// 63 bytes: FF + 1 CF.
+	frames, err = Segment(testMsg(maxSingle + 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 2 {
+		t.Errorf("%d-byte message used %d frames, want 2", maxSingle+1, len(frames))
+	}
+	// Over the 12-bit limit.
+	if _, err := Segment(testMsg(MaxMessageLen + 1)); err == nil {
+		t.Error("oversize message accepted")
+	}
+	// Empty message: legal SF with length 0? ISO-TP requires ≥ 1 byte;
+	// Segment emits it but Push rejects length 0 — assert the pair.
+	frames, err = Segment(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r Reassembler
+	if _, err := r.Push(frames[0]); err == nil {
+		t.Error("zero-length single frame accepted by reassembler")
+	}
+}
+
+func TestSequenceNumberWrap(t *testing.T) {
+	// > 15 consecutive frames force the 4-bit sequence number to wrap.
+	n := (frameLen - 2) + 20*(frameLen-1) // FF + 20 CFs
+	msg := testMsg(n)
+	frames, err := Segment(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 21 {
+		t.Fatalf("expected 21 frames, got %d", len(frames))
+	}
+	// Sequence numbers 1..15, 0, 1, ...
+	if frames[15][0]&0x0F != 15 {
+		t.Error("frame 15 sequence wrong")
+	}
+	if frames[16][0]&0x0F != 0 {
+		t.Error("sequence did not wrap to 0")
+	}
+	got, err := reassemble(t, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("wrapped transfer corrupted")
+	}
+}
+
+func TestReassemblerErrors(t *testing.T) {
+	msg := testMsg(200)
+	frames, _ := Segment(msg)
+
+	t.Run("bad sequence", func(t *testing.T) {
+		var r Reassembler
+		if _, err := r.Push(frames[0]); err != nil {
+			t.Fatal(err)
+		}
+		r.FlowControlNeeded()
+		// Skip frames[1], push frames[2].
+		if _, err := r.Push(frames[2]); !errors.Is(err, ErrBadSequence) {
+			t.Errorf("got %v, want ErrBadSequence", err)
+		}
+		if r.Active() {
+			t.Error("reassembler still active after sequence error")
+		}
+	})
+
+	t.Run("CF without FF", func(t *testing.T) {
+		var r Reassembler
+		if _, err := r.Push(frames[1]); !errors.Is(err, ErrUnexpected) {
+			t.Errorf("got %v, want ErrUnexpected", err)
+		}
+	})
+
+	t.Run("second FF mid-transfer", func(t *testing.T) {
+		var r Reassembler
+		r.Push(frames[0])
+		if _, err := r.Push(frames[0]); !errors.Is(err, ErrUnexpected) {
+			t.Errorf("got %v, want ErrUnexpected", err)
+		}
+	})
+
+	t.Run("SF mid-transfer", func(t *testing.T) {
+		var r Reassembler
+		r.Push(frames[0])
+		sf, _ := Segment(testMsg(10))
+		if _, err := r.Push(sf[0]); !errors.Is(err, ErrUnexpected) {
+			t.Errorf("got %v, want ErrUnexpected", err)
+		}
+	})
+
+	t.Run("empty frame", func(t *testing.T) {
+		var r Reassembler
+		if _, err := r.Push(nil); !errors.Is(err, ErrBadPCI) {
+			t.Errorf("got %v, want ErrBadPCI", err)
+		}
+	})
+
+	t.Run("FF too short", func(t *testing.T) {
+		var r Reassembler
+		if _, err := r.Push([]byte{pciFirst << 4}); !errors.Is(err, ErrBadPCI) {
+			t.Errorf("got %v, want ErrBadPCI", err)
+		}
+	})
+
+	t.Run("FF length fits single frame", func(t *testing.T) {
+		var r Reassembler
+		// A FirstFrame declaring 10 bytes is bogus (must be > 62).
+		ff := make([]byte, frameLen)
+		ff[0] = pciFirst << 4
+		ff[1] = 10
+		if _, err := r.Push(ff); !errors.Is(err, ErrLengthInvalid) {
+			t.Errorf("got %v, want ErrLengthInvalid", err)
+		}
+	})
+
+	t.Run("flow control on data path", func(t *testing.T) {
+		var r Reassembler
+		if _, err := r.Push(FlowControlFrame(FlowContinue, 0, 0)); !errors.Is(err, ErrUnexpected) {
+			t.Errorf("got %v, want ErrUnexpected", err)
+		}
+	})
+}
+
+func TestClassicSingleFrame(t *testing.T) {
+	// Classic (non-escape) SF: low nibble carries the length.
+	var r Reassembler
+	classic := []byte{0x03, 0xAA, 0xBB, 0xCC}
+	msg, err := r.Push(classic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(msg, []byte{0xAA, 0xBB, 0xCC}) {
+		t.Errorf("classic SF decoded to %x", msg)
+	}
+	// Declared length beyond the frame.
+	if _, err := r.Push([]byte{0x05, 1, 2}); !errors.Is(err, ErrLengthInvalid) {
+		t.Errorf("got %v, want ErrLengthInvalid", err)
+	}
+}
+
+func TestFlowControlRoundTrip(t *testing.T) {
+	f := FlowControlFrame(FlowContinue, 4, 0x14)
+	status, bs, st, err := ParseFlowControl(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != FlowContinue || bs != 4 || st != 0x14 {
+		t.Errorf("parsed %v %d %d", status, bs, st)
+	}
+	for _, s := range []FlowStatus{FlowWait, FlowOverflow} {
+		got, _, _, err := ParseFlowControl(FlowControlFrame(s, 0, 0))
+		if err != nil || got != s {
+			t.Errorf("status %d: %v %v", s, got, err)
+		}
+	}
+	if _, _, _, err := ParseFlowControl([]byte{0x30}); !errors.Is(err, ErrBadPCI) {
+		t.Error("short FC accepted")
+	}
+	if _, _, _, err := ParseFlowControl([]byte{0x3F, 0, 0}); err == nil {
+		t.Error("invalid flow status accepted")
+	}
+	if _, _, _, err := ParseFlowControl([]byte{0x10, 0, 0}); !errors.Is(err, ErrBadPCI) {
+		t.Error("non-FC frame accepted")
+	}
+}
+
+func TestFlowControlNeededFlag(t *testing.T) {
+	msg := testMsg(100)
+	frames, _ := Segment(msg)
+	var r Reassembler
+	r.Push(frames[0])
+	if !r.FlowControlNeeded() {
+		t.Error("no flow control requested after FF")
+	}
+	if r.FlowControlNeeded() {
+		t.Error("flag not cleared")
+	}
+	// SF transfers never need flow control.
+	var r2 Reassembler
+	sf, _ := Segment(testMsg(10))
+	r2.Push(sf[0])
+	if r2.FlowControlNeeded() {
+		t.Error("flow control requested for single frame")
+	}
+}
+
+func TestFrameCountTable2Messages(t *testing.T) {
+	// The concrete message sizes of Table II must all be expressible.
+	for _, n := range []int{48, 80, 101, 133, 165, 197, 213, 245} {
+		frames, _, err := FrameCount(n)
+		if err != nil || frames <= 0 {
+			t.Errorf("size %d: %d frames, %v", n, frames, err)
+		}
+	}
+}
+
+// TestQuickRoundTrip property-tests segmentation across random sizes.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed uint16) bool {
+		n := int(seed)%MaxMessageLen + 1
+		msg := testMsg(n)
+		frames, err := Segment(msg)
+		if err != nil {
+			return false
+		}
+		var r Reassembler
+		var got []byte
+		for _, fr := range frames {
+			m, err := r.Push(fr)
+			if err != nil {
+				return false
+			}
+			r.FlowControlNeeded()
+			if m != nil {
+				got = m
+			}
+		}
+		return bytes.Equal(got, msg)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

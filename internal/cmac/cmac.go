@@ -1,0 +1,148 @@
+// Package cmac implements AES-CMAC (RFC 4493 / NIST SP 800-38B), the
+// 128-bit message-authentication primitive used by the symmetric
+// (SCIANC, PORAMB) key-derivation protocols in the paper's comparison
+// (§V-A: "128-bits for the AES and CMAC").
+package cmac
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/subtle"
+	"fmt"
+	"hash"
+)
+
+// Size is the CMAC tag length in bytes (one AES block).
+const Size = aes.BlockSize
+
+const rb = 0x87 // the GF(2^128) reduction constant of SP 800-38B
+
+// cmac implements hash.Hash over an AES block cipher.
+type cmac struct {
+	block    cipher.Block
+	k1, k2   [Size]byte
+	x        [Size]byte // running CBC state
+	buf      [Size]byte // pending partial block
+	bufLen   int
+	finished bool
+}
+
+// New returns a CMAC instance keyed with an AES key of 16, 24 or 32
+// bytes. The returned value implements hash.Hash with BlockSize 16 and
+// Size 16.
+func New(key []byte) (hash.Hash, error) {
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("cmac: %w", err)
+	}
+	m := &cmac{block: block}
+	m.deriveSubkeys()
+	return m, nil
+}
+
+// Sum computes the CMAC tag of msg in one shot.
+func Sum(key, msg []byte) ([]byte, error) {
+	m, err := New(key)
+	if err != nil {
+		return nil, err
+	}
+	m.Write(msg)
+	return m.Sum(nil), nil
+}
+
+// Verify recomputes the tag over msg and compares in constant time.
+func Verify(key, msg, tag []byte) (bool, error) {
+	want, err := Sum(key, msg)
+	if err != nil {
+		return false, err
+	}
+	if len(tag) != Size {
+		return false, nil
+	}
+	return subtle.ConstantTimeCompare(want, tag) == 1, nil
+}
+
+// deriveSubkeys computes K1 = dbl(E_K(0)), K2 = dbl(K1).
+func (m *cmac) deriveSubkeys() {
+	var l [Size]byte
+	m.block.Encrypt(l[:], l[:])
+	dbl(&m.k1, &l)
+	dbl(&m.k2, &m.k1)
+}
+
+// dbl doubles a 128-bit value in GF(2^128): left shift, conditionally
+// XOR Rb into the low byte.
+func dbl(dst, src *[Size]byte) {
+	var carry byte
+	for i := Size - 1; i >= 0; i-- {
+		b := src[i]
+		dst[i] = b<<1 | carry
+		carry = b >> 7
+	}
+	if carry != 0 {
+		dst[Size-1] ^= rb
+	}
+}
+
+func (m *cmac) Write(p []byte) (int, error) {
+	n := len(p)
+	for len(p) > 0 {
+		// Keep at least one byte buffered so the final block is
+		// available for subkey treatment in Sum.
+		if m.bufLen == Size {
+			m.processBlock(m.buf[:])
+			m.bufLen = 0
+		}
+		take := Size - m.bufLen
+		if take > len(p) {
+			take = len(p)
+		}
+		copy(m.buf[m.bufLen:], p[:take])
+		m.bufLen += take
+		p = p[take:]
+	}
+	return n, nil
+}
+
+func (m *cmac) processBlock(b []byte) {
+	for i := 0; i < Size; i++ {
+		m.x[i] ^= b[i]
+	}
+	m.block.Encrypt(m.x[:], m.x[:])
+}
+
+// Sum appends the tag to b. The CMAC state is not consumed; further
+// Writes after Sum are not supported and will produce undefined tags
+// (matching the one-shot usage in the protocol stack).
+func (m *cmac) Sum(b []byte) []byte {
+	var last [Size]byte
+	if m.bufLen == Size {
+		// Complete final block: XOR with K1.
+		for i := 0; i < Size; i++ {
+			last[i] = m.buf[i] ^ m.k1[i]
+		}
+	} else {
+		// Incomplete (or empty) final block: pad 10*…, XOR with K2.
+		copy(last[:], m.buf[:m.bufLen])
+		last[m.bufLen] = 0x80
+		for i := 0; i < Size; i++ {
+			last[i] ^= m.k2[i]
+		}
+	}
+	var tag [Size]byte
+	copy(tag[:], m.x[:])
+	for i := 0; i < Size; i++ {
+		tag[i] ^= last[i]
+	}
+	m.block.Encrypt(tag[:], tag[:])
+	return append(b, tag[:]...)
+}
+
+func (m *cmac) Reset() {
+	m.x = [Size]byte{}
+	m.buf = [Size]byte{}
+	m.bufLen = 0
+}
+
+func (m *cmac) Size() int      { return Size }
+func (m *cmac) BlockSize() int { return Size }

@@ -1,0 +1,196 @@
+package cmac
+
+import (
+	"bytes"
+	"encoding/hex"
+	"testing"
+	"testing/quick"
+)
+
+func fromHex(t *testing.T, s string) []byte {
+	t.Helper()
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		t.Fatalf("bad hex: %v", err)
+	}
+	return b
+}
+
+// rfc4493Key is the AES-128 key of the RFC 4493 test vectors.
+const rfc4493Key = "2b7e151628aed2a6abf7158809cf4f3c"
+
+// TestRFC4493Vectors checks all four RFC 4493 §4 examples.
+func TestRFC4493Vectors(t *testing.T) {
+	key := fromHex(t, rfc4493Key)
+	msgFull := fromHex(t, "6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e5130c81c46a35ce411e5fbc1191a0a52eff69f2445df4f9b17ad2b417be66c3710")
+
+	cases := []struct {
+		name string
+		msg  []byte
+		want string
+	}{
+		{"len=0", nil, "bb1d6929e95937287fa37d129b756746"},
+		{"len=16", msgFull[:16], "070a16b46b4d4144f79bdd9dd04a287c"},
+		{"len=40", msgFull[:40], "dfa66747de9ae63030ca32611497c827"},
+		{"len=64", msgFull, "51f0bebf7e3b9d92fc49741779363cfe"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := Sum(key, tc.msg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, fromHex(t, tc.want)) {
+				t.Errorf("tag = %x, want %s", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestSubkeys checks the K1/K2 derivation from RFC 4493 §4.
+func TestSubkeys(t *testing.T) {
+	m, err := New(fromHex(t, rfc4493Key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := m.(*cmac)
+	if got := c.k1[:]; !bytes.Equal(got, fromHex(t, "fbeed618357133667c85e08f7236a8de")) {
+		t.Errorf("K1 = %x", got)
+	}
+	if got := c.k2[:]; !bytes.Equal(got, fromHex(t, "f7ddac306ae266ccf90bc11ee46d513b")) {
+		t.Errorf("K2 = %x", got)
+	}
+}
+
+func TestIncrementalWrites(t *testing.T) {
+	key := fromHex(t, rfc4493Key)
+	msg := fromHex(t, "6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e51")
+
+	want, err := Sum(key, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same tag regardless of write partitioning.
+	for _, split := range []int{1, 7, 15, 16, 17, 31} {
+		m, _ := New(key)
+		m.Write(msg[:split])
+		m.Write(msg[split:])
+		if got := m.Sum(nil); !bytes.Equal(got, want) {
+			t.Errorf("split %d: tag %x, want %x", split, got, want)
+		}
+	}
+	// Byte-at-a-time.
+	m, _ := New(key)
+	for _, b := range msg {
+		m.Write([]byte{b})
+	}
+	if got := m.Sum(nil); !bytes.Equal(got, want) {
+		t.Errorf("byte-wise: tag %x, want %x", got, want)
+	}
+}
+
+func TestReset(t *testing.T) {
+	key := fromHex(t, rfc4493Key)
+	m, _ := New(key)
+	m.Write([]byte("some data"))
+	m.Reset()
+	got := m.Sum(nil)
+	want, _ := Sum(key, nil)
+	if !bytes.Equal(got, want) {
+		t.Error("Reset did not restore the empty-message state")
+	}
+}
+
+func TestVerify(t *testing.T) {
+	key := fromHex(t, rfc4493Key)
+	msg := []byte("authenticated message")
+	tag, err := Sum(key, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := Verify(key, msg, tag)
+	if err != nil || !ok {
+		t.Fatalf("valid tag rejected: %v", err)
+	}
+	bad := append([]byte{}, tag...)
+	bad[0] ^= 1
+	if ok, _ := Verify(key, msg, bad); ok {
+		t.Error("corrupted tag accepted")
+	}
+	if ok, _ := Verify(key, append(msg, 'x'), tag); ok {
+		t.Error("modified message accepted")
+	}
+	if ok, _ := Verify(key, msg, tag[:8]); ok {
+		t.Error("truncated tag accepted")
+	}
+}
+
+func TestKeySizes(t *testing.T) {
+	for _, size := range []int{16, 24, 32} {
+		if _, err := New(make([]byte, size)); err != nil {
+			t.Errorf("AES-%d key rejected: %v", size*8, err)
+		}
+	}
+	if _, err := New(make([]byte, 15)); err == nil {
+		t.Error("15-byte key accepted")
+	}
+}
+
+func TestHashInterface(t *testing.T) {
+	m, _ := New(make([]byte, 16))
+	if m.Size() != Size {
+		t.Errorf("Size() = %d", m.Size())
+	}
+	if m.BlockSize() != Size {
+		t.Errorf("BlockSize() = %d", m.BlockSize())
+	}
+	// Sum must append, not replace.
+	prefix := []byte{0xAA, 0xBB}
+	out := m.Sum(prefix)
+	if !bytes.Equal(out[:2], prefix) {
+		t.Error("Sum did not append to its argument")
+	}
+	if len(out) != 2+Size {
+		t.Errorf("Sum output length %d", len(out))
+	}
+}
+
+// TestQuickDistinctMessages: distinct messages produce distinct tags
+// (a collision at 128 bits in random short inputs would indicate a
+// state bug, e.g. ignoring part of the input).
+func TestQuickDistinctMessages(t *testing.T) {
+	key := make([]byte, 16)
+	f := func(a, b []byte) bool {
+		if bytes.Equal(a, b) {
+			return true
+		}
+		ta, err1 := Sum(key, a)
+		tb, err2 := Sum(key, b)
+		return err1 == nil && err2 == nil && !bytes.Equal(ta, tb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 128}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDbl checks the GF(2^128) doubling carry/reduction paths.
+func TestDbl(t *testing.T) {
+	var src, dst [Size]byte
+	// No carry: 1 doubles to 2.
+	src[Size-1] = 1
+	dbl(&dst, &src)
+	var want [Size]byte
+	want[Size-1] = 2
+	if dst != want {
+		t.Errorf("dbl(1) = %x", dst)
+	}
+	// Carry: MSB set → shift and XOR Rb.
+	src = [Size]byte{}
+	src[0] = 0x80
+	dbl(&dst, &src)
+	want = [Size]byte{}
+	want[Size-1] = rb
+	if dst != want {
+		t.Errorf("dbl(0x80...) = %x, want ...%02x", dst, rb)
+	}
+}

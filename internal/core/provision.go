@@ -1,0 +1,98 @@
+package core
+
+import (
+	"crypto/rand"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/ec"
+	"repro/internal/ecqv"
+)
+
+// Network models the centralized implicit-certificate architecture of
+// the paper's Figure 1: a central authority that authenticates devices
+// and derives their certificates (stages 1 and 2), after which any two
+// provisioned devices can establish sessions (stage 3) with the
+// protocols in this package.
+type Network struct {
+	Curve *ec.Curve
+	CA    *ecqv.CA
+	rand  io.Reader
+
+	// certValidity is the certificate-session length (e.g. one
+	// vehicle power cycle).
+	certValidity time.Duration
+	notBefore    time.Time
+}
+
+// NewNetwork creates the central authority. A nil rng selects
+// crypto/rand.
+func NewNetwork(curve *ec.Curve, rng io.Reader) (*Network, error) {
+	ca, err := ecqv.NewCA(curve, ecqv.NewID("central-authority"), rng)
+	if err != nil {
+		return nil, fmt.Errorf("core: network CA: %w", err)
+	}
+	return &Network{
+		Curve:        curve,
+		CA:           ca,
+		rand:         rng,
+		certValidity: 24 * time.Hour,
+		notBefore:    time.Unix(1700000000, 0),
+	}, nil
+}
+
+// Provision runs the full certificate-derivation stage for one device:
+// request generation, CA issuance and private-key reconstruction,
+// returning a session-ready Party.
+func (n *Network) Provision(name string) (*Party, error) {
+	id := ecqv.NewID(name)
+	req, sec, err := ecqv.NewRequest(n.Curve, id, n.rand)
+	if err != nil {
+		return nil, fmt.Errorf("core: provision %s: %w", name, err)
+	}
+	resp, err := n.CA.Issue(req, ecqv.IssueParams{
+		ValidFrom: n.notBefore,
+		ValidTo:   n.notBefore.Add(n.certValidity),
+		KeyUsage:  ecqv.UsageKeyAgreement | ecqv.UsageSignature,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: issue %s: %w", name, err)
+	}
+	priv, _, err := ecqv.ReconstructPrivateKey(sec, resp, n.CA.PublicKey())
+	if err != nil {
+		return nil, fmt.Errorf("core: reconstruct %s: %w", name, err)
+	}
+	return &Party{
+		ID:    id,
+		Curve: n.Curve,
+		Cert:  resp.Cert,
+		Priv:  priv,
+		CAPub: n.CA.PublicKey(),
+		Rand:  n.rand,
+	}, nil
+}
+
+// Pair provisions two devices and installs the pairwise pre-shared
+// key that PORAMB requires.
+func (n *Network) Pair(nameA, nameB string) (*Party, *Party, error) {
+	a, err := n.Provision(nameA)
+	if err != nil {
+		return nil, nil, err
+	}
+	b, err := n.Provision(nameB)
+	if err != nil {
+		return nil, nil, err
+	}
+	rng := n.rand
+	if rng == nil {
+		rng = rand.Reader
+	}
+	psk := make([]byte, 32)
+	if _, err := io.ReadFull(rng, psk); err != nil {
+		return nil, nil, fmt.Errorf("core: pairwise key: %w", err)
+	}
+	a.PairwiseKey = append([]byte(nil), psk...)
+	b.PairwiseKey = append([]byte(nil), psk...)
+	return a, b, nil
+}

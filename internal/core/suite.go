@@ -1,0 +1,222 @@
+package core
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+
+	"repro/internal/ec"
+	"repro/internal/ecdsa"
+	"repro/internal/ecqv"
+	"repro/internal/kdf"
+)
+
+// suite executes real cryptographic operations for one party while
+// recording primitive events into the run trace. Every protocol
+// implementation goes through the suite, so the trace is a faithful
+// operation-level account of what the device computed — the input the
+// hardware timing model replays.
+type suite struct {
+	curve *ec.Curve
+	m     *meter
+	rng   io.Reader
+}
+
+func newSuite(curve *ec.Curve, m *meter, rng io.Reader) *suite {
+	if rng == nil {
+		rng = rand.Reader
+	}
+	return &suite{curve: curve, m: m, rng: rng}
+}
+
+// enter switches the suite's trace phase.
+func (s *suite) enter(p Phase) { s.m.enter(p) }
+
+// ephemeral draws X ∈R [1, n−1] and computes XG = X·G — the request
+// operation of equation (2).
+func (s *suite) ephemeral() (*big.Int, ec.Point, error) {
+	s.m.record(PrimRandScalar, 1)
+	x, err := s.curve.RandomScalar(s.rng)
+	if err != nil {
+		return nil, ec.Point{}, err
+	}
+	s.m.record(PrimECBaseMult, 1)
+	return x, s.curve.ScalarBaseMult(x), nil
+}
+
+// nonce draws n random bytes.
+func (s *suite) nonce(n int) ([]byte, error) {
+	s.m.record(PrimRandBytes, n)
+	out := make([]byte, n)
+	if _, err := io.ReadFull(s.rng, out); err != nil {
+		return nil, fmt.Errorf("core: nonce: %w", err)
+	}
+	return out, nil
+}
+
+// extractPublicKey performs the paper's equation (1):
+// Q_X = Hash(Cert_X)·Decode(Cert_X) + Q_CA.
+func (s *suite) extractPublicKey(cert *ecqv.Certificate, caPub ec.Point) (ec.Point, error) {
+	s.m.record(PrimHashBytes, ecqv.EncodedSize(s.curve))
+	s.m.record(PrimECPointDecode, 1) // Decode(Cert): decompress P_U
+	s.m.record(PrimECPointMult, 1)
+	s.m.record(PrimECPointAdd, 1)
+	return ecqv.ExtractPublicKey(cert, caPub)
+}
+
+// dh computes a Diffie–Hellman shared point k·Q and returns its
+// x-coordinate as the premaster secret (equation (3)).
+func (s *suite) dh(k *big.Int, q ec.Point) ([]byte, error) {
+	s.m.record(PrimECPointMult, 1)
+	p := s.curve.ScalarMult(q, k)
+	if p.IsInfinity() {
+		return nil, errors.New("core: degenerate DH shared point")
+	}
+	out := make([]byte, s.curve.ByteLen())
+	p.X.FillBytes(out)
+	return out, nil
+}
+
+// cachedCombinedDH computes the SCIANC-style single-multiplication
+// premaster: (k·e)·P + [cached k·Q_CA], where the k·Q_CA term is
+// precomputed once per certificate epoch and therefore not charged to
+// the session. This is why SCIANC's measured per-session cost in
+// Table I is roughly one point multiplication per device.
+func (s *suite) cachedCombinedDH(k *big.Int, cert *ecqv.Certificate, cachedKQCA ec.Point) ([]byte, error) {
+	s.m.record(PrimHashBytes, ecqv.EncodedSize(s.curve))
+	s.m.record(PrimECPointDecode, 1)
+	e := cert.HashToScalar()
+	ke := new(big.Int).Mul(k, e)
+	ke.Mod(ke, s.curve.N)
+	s.m.record(PrimECPointMult, 1)
+	s.m.record(PrimECPointAdd, 1)
+	p := s.curve.Add(s.curve.ScalarMult(cert.PubRecon, ke), cachedKQCA)
+	if p.IsInfinity() {
+		return nil, errors.New("core: degenerate combined DH point")
+	}
+	out := make([]byte, s.curve.ByteLen())
+	p.X.FillBytes(out)
+	return out, nil
+}
+
+// deriveSessionKeys runs KS = KDF(KPM, salt) (equation (4)), returning
+// the encryption and MAC halves.
+func (s *suite) deriveSessionKeys(premaster, salt []byte) (encKey, macKey []byte, err error) {
+	s.m.record(PrimKDF, 1)
+	return kdf.SessionKeys(premaster, salt)
+}
+
+// sign produces the ECDSA authentication signature of Algorithm 1 line
+// 2/4: dsign = sign(Prk, msg).
+func (s *suite) sign(priv *big.Int, msg []byte) (ecdsa.Signature, error) {
+	key, err := ecdsa.NewPrivateKey(s.curve, priv)
+	if err != nil {
+		return ecdsa.Signature{}, err
+	}
+	s.m.record(PrimHashBytes, len(msg))
+	s.m.record(PrimMACBytes, 4*sha256.Size) // RFC 6979 nonce derivation
+	s.m.record(PrimECBaseMult, 1)
+	s.m.record(PrimModInverse, 1)
+	return key.Sign(msg)
+}
+
+// verify checks an ECDSA signature under a reconstructed public key
+// (Algorithm 2 line 3).
+func (s *suite) verify(q ec.Point, msg []byte, sig ecdsa.Signature) bool {
+	s.m.record(PrimHashBytes, len(msg))
+	s.m.record(PrimModInverse, 1)
+	s.m.record(PrimECCombinedMult, 1)
+	pub := &ecdsa.PublicKey{Curve: s.curve, Q: q}
+	return pub.Verify(msg, sig)
+}
+
+// mac computes HMAC-SHA-256 over msg.
+func (s *suite) mac(key []byte, parts ...[]byte) []byte {
+	m := hmac.New(sha256.New, key)
+	n := 0
+	for _, p := range parts {
+		m.Write(p)
+		n += len(p)
+	}
+	s.m.record(PrimMACBytes, n)
+	return m.Sum(nil)
+}
+
+// macVerify recomputes and compares a tag.
+func (s *suite) macVerify(key, tag []byte, parts ...[]byte) bool {
+	want := s.mac(key, parts...)
+	return hmac.Equal(want, tag)
+}
+
+// hash computes SHA-256.
+func (s *suite) hash(parts ...[]byte) []byte {
+	h := sha256.New()
+	n := 0
+	for _, p := range parts {
+		h.Write(p)
+		n += len(p)
+	}
+	s.m.record(PrimHashBytes, n)
+	return h.Sum(nil)
+}
+
+// sealResp implements the size-preserving Resp = encrypt(KS, dsign) of
+// Algorithm 1 line 6. AES-128-CTR with a per-direction keystream nonce
+// derived from the MAC key keeps |Resp| = |dsign| = 64 bytes — exactly
+// the "Resp(64)" that Table II charges. Integrity of the payload is
+// provided by the signature inside, not by a tag.
+func (s *suite) sealResp(encKey, macKey []byte, direction string, dsign []byte) ([]byte, error) {
+	s.m.record(PrimAESBytes, len(dsign))
+	stream, err := respStream(encKey, macKey, direction, len(dsign))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, len(dsign))
+	for i := range dsign {
+		out[i] = dsign[i] ^ stream[i]
+	}
+	return out, nil
+}
+
+// openResp inverts sealResp (Algorithm 2 line 1).
+func (s *suite) openResp(encKey, macKey []byte, direction string, resp []byte) ([]byte, error) {
+	return s.sealResp(encKey, macKey, direction, resp) // CTR is an involution
+}
+
+// respStream derives the CTR keystream for one direction. The IV is
+// bound to the session (via the MAC key, which is fresh per session
+// for DKD protocols) and to the direction label, so the two Resp
+// messages of a session never share keystream.
+func respStream(encKey, macKey []byte, direction string, n int) ([]byte, error) {
+	block, err := aes.NewCipher(encKey)
+	if err != nil {
+		return nil, err
+	}
+	ivm := hmac.New(sha256.New, macKey)
+	ivm.Write([]byte("resp-iv|" + direction))
+	iv := ivm.Sum(nil)[:aes.BlockSize]
+	stream := make([]byte, n)
+	cipher.NewCTR(block, iv).XORKeyStream(stream, stream)
+	return stream, nil
+}
+
+// ctrEncrypt is the generic size-preserving transport encryption used
+// by finish messages.
+func (s *suite) ctrEncrypt(encKey, macKey []byte, label string, data []byte) ([]byte, error) {
+	s.m.record(PrimAESBytes, len(data))
+	stream, err := respStream(encKey, macKey, label, len(data))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, len(data))
+	for i := range data {
+		out[i] = data[i] ^ stream[i]
+	}
+	return out, nil
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/ec"
+	"repro/internal/ecqv"
+)
+
+// Wire codecs for the STS handshake: the byte-level message formats a
+// deployment actually sends. Each message is a one-byte step code
+// followed by the fixed-width fields of Table II (sizes derived from
+// the curve, so P-224/P-192 deployments shrink accordingly).
+
+// Step codes on the wire.
+const (
+	wireA1 byte = 0x01
+	wireB1 byte = 0x02
+	wireA2 byte = 0x03
+	wireB2 byte = 0x04
+)
+
+var labelToCode = map[string]byte{"A1": wireA1, "B1": wireB1, "A2": wireA2, "B2": wireB2}
+var codeToLabel = map[byte]string{wireA1: "A1", wireB1: "B1", wireA2: "A2", wireB2: "B2"}
+
+// stsLayout returns the field layout of an STS step for a curve and
+// optimization level. It must agree with STS.Spec.
+func stsLayout(curve *ec.Curve, opt STSOptimization, label string) ([]FieldSpec, error) {
+	certSize := ecqv.EncodedSize(curve)
+	ecSize := 2 * curve.ByteLen()
+	switch label {
+	case "A1":
+		if opt == OptNone {
+			return []FieldSpec{{"ID", ecqv.IDSize}, {"XG", ecSize}}, nil
+		}
+		return []FieldSpec{{"ID", ecqv.IDSize}, {"Cert", certSize}, {"XG", ecSize}}, nil
+	case "B1":
+		return []FieldSpec{{"ID", ecqv.IDSize}, {"Cert", certSize}, {"XG", ecSize}, {"Resp", ecSize}}, nil
+	case "A2":
+		if opt == OptNone {
+			return []FieldSpec{{"Cert", certSize}, {"Resp", ecSize}}, nil
+		}
+		return []FieldSpec{{"Resp", ecSize}}, nil
+	case "B2":
+		return []FieldSpec{{"ACK", ackSize}}, nil
+	}
+	return nil, fmt.Errorf("core: unknown STS step %q", label)
+}
+
+// EncodeSTSMessage serializes a transcript message to wire bytes.
+func EncodeSTSMessage(msg WireMessage) ([]byte, error) {
+	code, ok := labelToCode[msg.Label]
+	if !ok {
+		return nil, fmt.Errorf("core: no wire code for step %q", msg.Label)
+	}
+	out := []byte{code}
+	for _, f := range msg.Field {
+		out = append(out, f.Bytes...)
+	}
+	return out, nil
+}
+
+// ErrWireFormat wraps all wire decoding failures.
+var ErrWireFormat = errors.New("core: malformed handshake message")
+
+// DecodeSTSMessage parses wire bytes into a transcript message, with
+// strict length checking against the expected layout.
+func DecodeSTSMessage(curve *ec.Curve, opt STSOptimization, data []byte) (WireMessage, error) {
+	if len(data) == 0 {
+		return WireMessage{}, fmt.Errorf("%w: empty", ErrWireFormat)
+	}
+	label, ok := codeToLabel[data[0]]
+	if !ok {
+		return WireMessage{}, fmt.Errorf("%w: unknown step code %#x", ErrWireFormat, data[0])
+	}
+	layout, err := stsLayout(curve, opt, label)
+	if err != nil {
+		return WireMessage{}, err
+	}
+	want := 1
+	for _, f := range layout {
+		want += f.Size
+	}
+	if len(data) != want {
+		return WireMessage{}, fmt.Errorf("%w: step %s has %d bytes, want %d",
+			ErrWireFormat, label, len(data), want)
+	}
+	msg := WireMessage{Label: label}
+	if label[0] == 'A' {
+		msg.From = RoleA
+	} else {
+		msg.From = RoleB
+	}
+	off := 1
+	for _, f := range layout {
+		msg.Field = append(msg.Field, Field{
+			Name:  f.Name,
+			Bytes: append([]byte(nil), data[off:off+f.Size]...),
+		})
+		off += f.Size
+	}
+	return msg, nil
+}

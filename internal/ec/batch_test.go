@@ -1,0 +1,111 @@
+package ec
+
+import (
+	"math/big"
+	"testing"
+)
+
+func TestBatchToAffine(t *testing.T) {
+	c := P256()
+	rng := newDetRand(41)
+
+	// Build Jacobian points with non-trivial Z by doubling.
+	var jacs []*jacobianPoint
+	var want []Point
+	for i := 0; i < 9; i++ {
+		p := randPoint(t, c, rng)
+		j := c.jacDouble(c.toJacobian(p)) // Z ≠ 1
+		jacs = append(jacs, j)
+		want = append(want, c.Double(p))
+	}
+	got := c.batchToAffine(jacs)
+	for i := range got {
+		if !got[i].Equal(want[i]) {
+			t.Fatalf("batch conversion %d wrong", i)
+		}
+		if !c.IsOnCurve(got[i]) {
+			t.Fatalf("batch conversion %d off curve", i)
+		}
+	}
+}
+
+func TestBatchToAffineWithInfinity(t *testing.T) {
+	c := P256()
+	rng := newDetRand(42)
+	p := randPoint(t, c, rng)
+	jacs := []*jacobianPoint{
+		c.jacInfinity(),
+		c.toJacobian(p),
+		c.jacInfinity(),
+	}
+	got := c.batchToAffine(jacs)
+	if !got[0].IsInfinity() || !got[2].IsInfinity() {
+		t.Error("infinity entries not preserved")
+	}
+	if !got[1].Equal(p) {
+		t.Error("finite entry corrupted by infinity neighbours")
+	}
+	// All-infinity batch.
+	all := c.batchToAffine([]*jacobianPoint{c.jacInfinity(), c.jacInfinity()})
+	for _, q := range all {
+		if !q.IsInfinity() {
+			t.Error("all-infinity batch produced a finite point")
+		}
+	}
+	// Empty batch.
+	if out := c.batchToAffine(nil); len(out) != 0 {
+		t.Error("empty batch produced output")
+	}
+}
+
+func TestMixedAddition(t *testing.T) {
+	// jacAddAffine must agree with the general addition for every
+	// combination, including the doubling and inverse corner cases.
+	c := P256()
+	rng := newDetRand(43)
+	p := randPoint(t, c, rng)
+	q := randPoint(t, c, rng)
+
+	jp := c.jacDouble(c.toJacobian(p)) // non-trivial Z
+	twoP := c.Double(p)
+
+	// General case.
+	got := c.fromJacobian(c.jacAddAffine(jp, q))
+	want := c.Add(twoP, q)
+	if !got.Equal(want) {
+		t.Error("mixed addition disagrees with general addition")
+	}
+	// Doubling case: 2P + 2P.
+	got = c.fromJacobian(c.jacAddAffine(jp, twoP))
+	if !got.Equal(c.Double(twoP)) {
+		t.Error("mixed addition doubling case wrong")
+	}
+	// Inverse case: 2P + (−2P) = ∞.
+	if !c.fromJacobian(c.jacAddAffine(jp, c.Neg(twoP))).IsInfinity() {
+		t.Error("mixed addition inverse case not infinity")
+	}
+	// Identity cases.
+	if !c.fromJacobian(c.jacAddAffine(c.jacInfinity(), q)).Equal(q) {
+		t.Error("∞ + Q wrong")
+	}
+	if !c.fromJacobian(c.jacAddAffine(jp, Point{})).Equal(twoP) {
+		t.Error("P + ∞ wrong")
+	}
+}
+
+func TestBaseTableConsistency(t *testing.T) {
+	// The cached affine base table must hold exactly the odd multiples
+	// G, 3G, 5G, ...
+	for _, c := range Curves() {
+		table := c.baseMultiples()
+		if len(table) != 1<<(wnafWindow-2) {
+			t.Fatalf("%s: table size %d", c.Name, len(table))
+		}
+		for i, p := range table {
+			k := big.NewInt(int64(2*i + 1))
+			if !p.Equal(c.ScalarMultNaive(c.Generator(), k)) {
+				t.Errorf("%s: table[%d] != %d·G", c.Name, i, 2*i+1)
+			}
+		}
+	}
+}

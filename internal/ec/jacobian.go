@@ -1,0 +1,207 @@
+package ec
+
+import "math/big"
+
+// jacobianPoint is a projective point (X : Y : Z) with affine
+// coordinates x = X/Z², y = Y/Z³. Z = 0 encodes the point at infinity.
+// Jacobian coordinates avoid a field inversion per group operation,
+// deferring the single inversion to the final conversion back to
+// affine form.
+type jacobianPoint struct {
+	x, y, z *big.Int
+}
+
+func (c *Curve) jacInfinity() *jacobianPoint {
+	return &jacobianPoint{x: big.NewInt(1), y: big.NewInt(1), z: new(big.Int)}
+}
+
+func (j *jacobianPoint) isInfinity() bool { return j.z.Sign() == 0 }
+
+func (j *jacobianPoint) clone() *jacobianPoint {
+	return &jacobianPoint{
+		x: new(big.Int).Set(j.x),
+		y: new(big.Int).Set(j.y),
+		z: new(big.Int).Set(j.z),
+	}
+}
+
+func (c *Curve) toJacobian(p Point) *jacobianPoint {
+	if p.IsInfinity() {
+		return c.jacInfinity()
+	}
+	return &jacobianPoint{
+		x: new(big.Int).Set(p.X),
+		y: new(big.Int).Set(p.Y),
+		z: big.NewInt(1),
+	}
+}
+
+func (c *Curve) fromJacobian(j *jacobianPoint) Point {
+	if j.isInfinity() {
+		return Point{}
+	}
+	zinv, err := modInv(j.z, c.P)
+	if err != nil {
+		return Point{}
+	}
+	zinv2 := modSqr(zinv, c.P)
+	x := modMul(j.x, zinv2, c.P)
+	y := modMul(j.y, modMul(zinv2, zinv, c.P), c.P)
+	return Point{X: x, Y: y}
+}
+
+// jacNeg returns −j.
+func (c *Curve) jacNeg(j *jacobianPoint) *jacobianPoint {
+	if j.isInfinity() {
+		return c.jacInfinity()
+	}
+	return &jacobianPoint{
+		x: new(big.Int).Set(j.x),
+		y: modNeg(j.y, c.P),
+		z: new(big.Int).Set(j.z),
+	}
+}
+
+// jacDouble returns 2j using the dbl-2007-bl formulas, with the
+// a = −3 shortcut (M = 3(X−Z²)(X+Z²)) for the NIST curves.
+func (c *Curve) jacDouble(j *jacobianPoint) *jacobianPoint {
+	if j.isInfinity() || j.y.Sign() == 0 {
+		return c.jacInfinity()
+	}
+	p := c.P
+
+	xx := modSqr(j.x, p)
+	yy := modSqr(j.y, p)
+	yyyy := modSqr(yy, p)
+	zz := modSqr(j.z, p)
+
+	// S = 2·((X+YY)² − XX − YYYY)
+	s := modSqr(modAdd(j.x, yy, p), p)
+	s = modSub(s, xx, p)
+	s = modSub(s, yyyy, p)
+	s = modAdd(s, s, p)
+
+	// M = 3·XX + a·ZZ² ; for a = −3: M = 3·(X−ZZ)(X+ZZ)
+	var m *big.Int
+	if c.aIsMinus3 {
+		m = modMul(modSub(j.x, zz, p), modAdd(j.x, zz, p), p)
+		m = modAdd(modAdd(m, m, p), m, p)
+	} else {
+		m = modAdd(modAdd(xx, xx, p), xx, p)
+		m = modAdd(m, modMul(c.A, modSqr(zz, p), p), p)
+	}
+
+	// X' = M² − 2S
+	x3 := modSqr(m, p)
+	x3 = modSub(x3, modAdd(s, s, p), p)
+
+	// Y' = M·(S − X') − 8·YYYY
+	y3 := modMul(m, modSub(s, x3, p), p)
+	e := modAdd(yyyy, yyyy, p) // 2
+	e = modAdd(e, e, p)        // 4
+	e = modAdd(e, e, p)        // 8
+	y3 = modSub(y3, e, p)
+
+	// Z' = (Y+Z)² − YY − ZZ = 2·Y·Z
+	z3 := modSqr(modAdd(j.y, j.z, p), p)
+	z3 = modSub(z3, yy, p)
+	z3 = modSub(z3, zz, p)
+
+	return &jacobianPoint{x: x3, y: y3, z: z3}
+}
+
+// jacAdd returns a + b using the add-2007-bl formulas.
+func (c *Curve) jacAdd(a, b *jacobianPoint) *jacobianPoint {
+	if a.isInfinity() {
+		return b.clone()
+	}
+	if b.isInfinity() {
+		return a.clone()
+	}
+	p := c.P
+
+	z1z1 := modSqr(a.z, p)
+	z2z2 := modSqr(b.z, p)
+	u1 := modMul(a.x, z2z2, p)
+	u2 := modMul(b.x, z1z1, p)
+	s1 := modMul(a.y, modMul(b.z, z2z2, p), p)
+	s2 := modMul(b.y, modMul(a.z, z1z1, p), p)
+
+	if u1.Cmp(u2) == 0 {
+		if s1.Cmp(s2) != 0 {
+			return c.jacInfinity() // a = −b
+		}
+		return c.jacDouble(a)
+	}
+
+	h := modSub(u2, u1, p)
+	i := modSqr(modAdd(h, h, p), p)
+	jj := modMul(h, i, p)
+	r := modSub(s2, s1, p)
+	r = modAdd(r, r, p)
+	v := modMul(u1, i, p)
+
+	// X3 = r² − J − 2V
+	x3 := modSqr(r, p)
+	x3 = modSub(x3, jj, p)
+	x3 = modSub(x3, modAdd(v, v, p), p)
+
+	// Y3 = r·(V − X3) − 2·S1·J
+	y3 := modMul(r, modSub(v, x3, p), p)
+	s1j := modMul(s1, jj, p)
+	y3 = modSub(y3, modAdd(s1j, s1j, p), p)
+
+	// Z3 = ((Z1+Z2)² − Z1Z1 − Z2Z2)·H
+	z3 := modSqr(modAdd(a.z, b.z, p), p)
+	z3 = modSub(z3, z1z1, p)
+	z3 = modSub(z3, z2z2, p)
+	z3 = modMul(z3, h, p)
+
+	return &jacobianPoint{x: x3, y: y3, z: z3}
+}
+
+// jacAddAffine adds the affine point q (z = 1) to a, the "madd"
+// optimisation used when accumulating precomputed table entries.
+func (c *Curve) jacAddAffine(a *jacobianPoint, q Point) *jacobianPoint {
+	if q.IsInfinity() {
+		return a.clone()
+	}
+	if a.isInfinity() {
+		return c.toJacobian(q)
+	}
+	p := c.P
+
+	z1z1 := modSqr(a.z, p)
+	u2 := modMul(q.X, z1z1, p)
+	s2 := modMul(q.Y, modMul(a.z, z1z1, p), p)
+
+	if a.x.Cmp(u2) == 0 {
+		if a.y.Cmp(s2) != 0 {
+			return c.jacInfinity()
+		}
+		return c.jacDouble(a)
+	}
+
+	h := modSub(u2, a.x, p)
+	hh := modSqr(h, p)
+	i := modAdd(hh, hh, p)
+	i = modAdd(i, i, p)
+	jj := modMul(h, i, p)
+	r := modSub(s2, a.y, p)
+	r = modAdd(r, r, p)
+	v := modMul(a.x, i, p)
+
+	x3 := modSqr(r, p)
+	x3 = modSub(x3, jj, p)
+	x3 = modSub(x3, modAdd(v, v, p), p)
+
+	y3 := modMul(r, modSub(v, x3, p), p)
+	yj := modMul(a.y, jj, p)
+	y3 = modSub(y3, modAdd(yj, yj, p), p)
+
+	z3 := modSqr(modAdd(a.z, h, p), p)
+	z3 = modSub(z3, z1z1, p)
+	z3 = modSub(z3, hh, p)
+
+	return &jacobianPoint{x: x3, y: y3, z: z3}
+}

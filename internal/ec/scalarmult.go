@@ -1,0 +1,224 @@
+package ec
+
+import "math/big"
+
+// Scalar multiplication. Three strategies are provided:
+//
+//   - ScalarMult: 5-bit wNAF with an on-the-fly odd-multiples table,
+//     used for arbitrary points (ECDH premaster, ECQV reconstruction).
+//   - ScalarBaseMult: same recoding against a cached table of odd
+//     multiples of G.
+//   - CombinedMult: Shamir's trick / Strauss interleaving for
+//     u1·G + u2·Q, the hot path of ECDSA verification.
+//
+// All strategies are variable time; see the package comment.
+
+const wnafWindow = 5 // window width; table holds 2^(w-2) odd multiples
+
+// wnaf returns the width-w non-adjacent form of k, least significant
+// digit first. Digits are odd integers in (−2^(w−1), 2^(w−1)) or zero.
+func wnaf(k *big.Int, w uint) []int8 {
+	if k.Sign() == 0 {
+		return nil
+	}
+	var digits []int8
+	d := new(big.Int).Set(k)
+	mod := int64(1) << w        // 2^w
+	half := int64(1) << (w - 1) // 2^(w−1)
+	for d.Sign() > 0 {
+		if d.Bit(0) == 1 {
+			r := new(big.Int).And(d, big.NewInt(mod-1)).Int64()
+			if r >= half {
+				r -= mod
+			}
+			digits = append(digits, int8(r))
+			d.Sub(d, big.NewInt(r))
+		} else {
+			digits = append(digits, 0)
+		}
+		d.Rsh(d, 1)
+	}
+	return digits
+}
+
+// oddMultiples returns [P, 3P, 5P, ..., (2^(w−1)−1)P] in Jacobian form.
+func (c *Curve) oddMultiples(p Point, w uint) []*jacobianPoint {
+	count := 1 << (w - 2)
+	table := make([]*jacobianPoint, count)
+	table[0] = c.toJacobian(p)
+	twoP := c.jacDouble(table[0])
+	for i := 1; i < count; i++ {
+		table[i] = c.jacAdd(table[i-1], twoP)
+	}
+	return table
+}
+
+// scalarMultWNAF evaluates k·P given a precomputed odd-multiples table.
+func (c *Curve) scalarMultWNAF(table []*jacobianPoint, k *big.Int) *jacobianPoint {
+	digits := wnaf(k, wnafWindow)
+	acc := c.jacInfinity()
+	for i := len(digits) - 1; i >= 0; i-- {
+		acc = c.jacDouble(acc)
+		d := digits[i]
+		switch {
+		case d > 0:
+			acc = c.jacAdd(acc, table[(d-1)/2])
+		case d < 0:
+			acc = c.jacAdd(acc, c.jacNeg(table[(-d-1)/2]))
+		}
+	}
+	return acc
+}
+
+// ScalarMult returns k·P. The scalar is reduced modulo the group order;
+// k ≡ 0 or P = ∞ yields the point at infinity.
+func (c *Curve) ScalarMult(p Point, k *big.Int) Point {
+	if p.IsInfinity() {
+		return Point{}
+	}
+	kr := new(big.Int).Mod(k, c.N)
+	if kr.Sign() == 0 {
+		return Point{}
+	}
+	table := c.oddMultiples(p, wnafWindow)
+	return c.fromJacobian(c.scalarMultWNAF(table, kr))
+}
+
+// ScalarMultNaive is the schoolbook double-and-add ladder, retained as
+// a correctness oracle and as the baseline of the scalar-multiplication
+// ablation bench.
+func (c *Curve) ScalarMultNaive(p Point, k *big.Int) Point {
+	if p.IsInfinity() {
+		return Point{}
+	}
+	kr := new(big.Int).Mod(k, c.N)
+	if kr.Sign() == 0 {
+		return Point{}
+	}
+	acc := c.jacInfinity()
+	add := c.toJacobian(p)
+	for i := kr.BitLen() - 1; i >= 0; i-- {
+		acc = c.jacDouble(acc)
+		if kr.Bit(i) == 1 {
+			acc = c.jacAdd(acc, add)
+		}
+	}
+	return c.fromJacobian(acc)
+}
+
+// batchToAffine converts Jacobian points to affine with a single field
+// inversion (Montgomery's trick): invert the product of all Z values,
+// then peel off individual inverses by multiplication.
+func (c *Curve) batchToAffine(points []*jacobianPoint) []Point {
+	n := len(points)
+	out := make([]Point, n)
+	// prefix[i] = z_0 · z_1 · … · z_{i-1}
+	prefix := make([]*big.Int, n+1)
+	prefix[0] = big.NewInt(1)
+	for i, p := range points {
+		if p.isInfinity() {
+			prefix[i+1] = prefix[i]
+			continue
+		}
+		prefix[i+1] = modMul(prefix[i], p.z, c.P)
+	}
+	inv, err := modInv(prefix[n], c.P)
+	if err != nil {
+		// Only possible if every point was infinity.
+		return out
+	}
+	for i := n - 1; i >= 0; i-- {
+		p := points[i]
+		if p.isInfinity() {
+			continue
+		}
+		zinv := modMul(prefix[i], inv, c.P) // z_i⁻¹
+		inv = modMul(inv, p.z, c.P)
+		zinv2 := modSqr(zinv, c.P)
+		out[i] = Point{
+			X: modMul(p.x, zinv2, c.P),
+			Y: modMul(p.y, modMul(zinv2, zinv, c.P), c.P),
+		}
+	}
+	return out
+}
+
+// baseMultiples returns the cached odd-multiples table for G in affine
+// form, enabling the cheaper mixed addition in the wNAF loop.
+func (c *Curve) baseMultiples() []Point {
+	c.baseOnce.Do(func() {
+		c.baseTable = c.batchToAffine(c.oddMultiples(c.Generator(), wnafWindow))
+	})
+	return c.baseTable
+}
+
+// scalarMultWNAFAffine is scalarMultWNAF against an affine table,
+// using mixed (Jacobian + affine) additions.
+func (c *Curve) scalarMultWNAFAffine(table []Point, k *big.Int) *jacobianPoint {
+	digits := wnaf(k, wnafWindow)
+	acc := c.jacInfinity()
+	for i := len(digits) - 1; i >= 0; i-- {
+		acc = c.jacDouble(acc)
+		d := digits[i]
+		switch {
+		case d > 0:
+			acc = c.jacAddAffine(acc, table[(d-1)/2])
+		case d < 0:
+			acc = c.jacAddAffine(acc, c.Neg(table[(-d-1)/2]))
+		}
+	}
+	return acc
+}
+
+// ScalarBaseMult returns k·G using the cached affine base-point table.
+func (c *Curve) ScalarBaseMult(k *big.Int) Point {
+	kr := new(big.Int).Mod(k, c.N)
+	if kr.Sign() == 0 {
+		return Point{}
+	}
+	return c.fromJacobian(c.scalarMultWNAFAffine(c.baseMultiples(), kr))
+}
+
+// CombinedMult returns u1·G + u2·Q via Strauss–Shamir interleaving:
+// one shared doubling chain with per-scalar wNAF digit additions. This
+// nearly halves the doublings of two independent multiplications and is
+// the standard ECDSA-verify optimisation.
+func (c *Curve) CombinedMult(q Point, u1, u2 *big.Int) Point {
+	u1r := new(big.Int).Mod(u1, c.N)
+	u2r := new(big.Int).Mod(u2, c.N)
+	if q.IsInfinity() || u2r.Sign() == 0 {
+		return c.ScalarBaseMult(u1r)
+	}
+	if u1r.Sign() == 0 {
+		return c.ScalarMult(q, u2r)
+	}
+
+	gTable := c.baseMultiples() // affine: mixed additions
+	qTable := c.oddMultiples(q, wnafWindow)
+	d1 := wnaf(u1r, wnafWindow)
+	d2 := wnaf(u2r, wnafWindow)
+
+	n := len(d1)
+	if len(d2) > n {
+		n = len(d2)
+	}
+	acc := c.jacInfinity()
+	for i := n - 1; i >= 0; i-- {
+		acc = c.jacDouble(acc)
+		if i < len(d1) {
+			if d := d1[i]; d > 0 {
+				acc = c.jacAddAffine(acc, gTable[(d-1)/2])
+			} else if d < 0 {
+				acc = c.jacAddAffine(acc, c.Neg(gTable[(-d-1)/2]))
+			}
+		}
+		if i < len(d2) {
+			if d := d2[i]; d > 0 {
+				acc = c.jacAdd(acc, qTable[(d-1)/2])
+			} else if d < 0 {
+				acc = c.jacAdd(acc, c.jacNeg(qTable[(-d-1)/2]))
+			}
+		}
+	}
+	return c.fromJacobian(acc)
+}

@@ -1,0 +1,248 @@
+package ec
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestWNAFReconstruction(t *testing.T) {
+	// Σ dᵢ·2ⁱ must equal the original scalar, and nonzero digits must
+	// be odd and within (−2^(w−1), 2^(w−1)).
+	f := func(v uint64) bool {
+		k := new(big.Int).SetUint64(v)
+		digits := wnaf(k, wnafWindow)
+		sum := new(big.Int)
+		for i, d := range digits {
+			term := new(big.Int).Lsh(big.NewInt(int64(d)), uint(i))
+			sum.Add(sum, term)
+			if d != 0 {
+				if d%2 == 0 {
+					return false
+				}
+				if d >= 1<<(wnafWindow-1) || d <= -(1<<(wnafWindow-1)) {
+					return false
+				}
+			}
+		}
+		return sum.Cmp(k) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+	if wnaf(new(big.Int), wnafWindow) != nil {
+		t.Error("wNAF of zero must be empty")
+	}
+}
+
+func TestWNAFNonAdjacency(t *testing.T) {
+	// In width-w NAF, every nonzero digit is followed by at least w−1
+	// zero digits.
+	k, _ := new(big.Int).SetString("ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632550", 16)
+	digits := wnaf(k, wnafWindow)
+	for i := 0; i < len(digits); i++ {
+		if digits[i] == 0 {
+			continue
+		}
+		for j := i + 1; j < i+wnafWindow && j < len(digits); j++ {
+			if digits[j] != 0 {
+				t.Fatalf("digits %d and %d both nonzero (window %d)", i, j, wnafWindow)
+			}
+		}
+	}
+}
+
+func TestScalarMultMatchesNaive(t *testing.T) {
+	rng := newDetRand(3)
+	for _, c := range Curves() {
+		t.Run(c.Name, func(t *testing.T) {
+			for i := 0; i < 8; i++ {
+				k, err := c.RandomScalar(rng)
+				if err != nil {
+					t.Fatal(err)
+				}
+				p := randPoint(t, c, rng)
+				fast := c.ScalarMult(p, k)
+				slow := c.ScalarMultNaive(p, k)
+				if !fast.Equal(slow) {
+					t.Fatalf("wNAF and naive disagree for k=%v", k)
+				}
+			}
+		})
+	}
+}
+
+func TestScalarMultEdgeCases(t *testing.T) {
+	c := P256()
+	g := c.Generator()
+
+	if !c.ScalarMult(g, new(big.Int)).IsInfinity() {
+		t.Error("0·G != ∞")
+	}
+	if !c.ScalarMult(g, c.N).IsInfinity() {
+		t.Error("n·G != ∞")
+	}
+	if !c.ScalarMult(Infinity(), big.NewInt(5)).IsInfinity() {
+		t.Error("5·∞ != ∞")
+	}
+	if !c.ScalarMult(g, big.NewInt(1)).Equal(g) {
+		t.Error("1·G != G")
+	}
+	// Scalars are reduced mod n: (n+2)·G = 2·G.
+	np2 := new(big.Int).Add(c.N, big.NewInt(2))
+	if !c.ScalarMult(g, np2).Equal(c.Double(g)) {
+		t.Error("(n+2)·G != 2G")
+	}
+	if !c.ScalarBaseMult(new(big.Int)).IsInfinity() {
+		t.Error("ScalarBaseMult(0) != ∞")
+	}
+}
+
+func TestScalarMultDistributive(t *testing.T) {
+	// (k1+k2)·G = k1·G + k2·G — the property that underpins both ECDH
+	// and the ECQV key reconstruction.
+	rng := newDetRand(4)
+	for _, c := range Curves() {
+		t.Run(c.Name, func(t *testing.T) {
+			for i := 0; i < 6; i++ {
+				k1, _ := c.RandomScalar(rng)
+				k2, _ := c.RandomScalar(rng)
+				sum := new(big.Int).Add(k1, k2)
+				lhs := c.ScalarBaseMult(sum)
+				rhs := c.Add(c.ScalarBaseMult(k1), c.ScalarBaseMult(k2))
+				if !lhs.Equal(rhs) {
+					t.Fatal("distributivity failed")
+				}
+			}
+		})
+	}
+}
+
+func TestDHConsistency(t *testing.T) {
+	// a·(b·G) = b·(a·G): the static and ephemeral Diffie–Hellman core.
+	rng := newDetRand(5)
+	c := P256()
+	for i := 0; i < 8; i++ {
+		a, _ := c.RandomScalar(rng)
+		b, _ := c.RandomScalar(rng)
+		ga := c.ScalarBaseMult(a)
+		gb := c.ScalarBaseMult(b)
+		s1 := c.ScalarMult(gb, a)
+		s2 := c.ScalarMult(ga, b)
+		if !s1.Equal(s2) {
+			t.Fatal("DH shared secrets disagree")
+		}
+	}
+}
+
+func TestCombinedMult(t *testing.T) {
+	rng := newDetRand(6)
+	for _, c := range Curves() {
+		t.Run(c.Name, func(t *testing.T) {
+			q := randPoint(t, c, rng)
+			for i := 0; i < 6; i++ {
+				u1, _ := c.RandomScalar(rng)
+				u2, _ := c.RandomScalar(rng)
+				got := c.CombinedMult(q, u1, u2)
+				want := c.Add(c.ScalarBaseMult(u1), c.ScalarMult(q, u2))
+				if !got.Equal(want) {
+					t.Fatal("CombinedMult != u1·G + u2·Q")
+				}
+			}
+			// Degenerate cases.
+			u1, _ := c.RandomScalar(rng)
+			if !c.CombinedMult(q, u1, new(big.Int)).Equal(c.ScalarBaseMult(u1)) {
+				t.Error("u2=0 case wrong")
+			}
+			u2, _ := c.RandomScalar(rng)
+			if !c.CombinedMult(q, new(big.Int), u2).Equal(c.ScalarMult(q, u2)) {
+				t.Error("u1=0 case wrong")
+			}
+			if !c.CombinedMult(Infinity(), u1, u2).Equal(c.ScalarBaseMult(u1)) {
+				t.Error("Q=∞ case wrong")
+			}
+		})
+	}
+}
+
+func TestRandomScalarRange(t *testing.T) {
+	rng := newDetRand(7)
+	c := P256()
+	for i := 0; i < 64; i++ {
+		k, err := c.RandomScalar(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k.Sign() <= 0 || k.Cmp(c.N) >= 0 {
+			t.Fatalf("scalar %v out of range", k)
+		}
+	}
+}
+
+func TestGenerateKeyPair(t *testing.T) {
+	rng := newDetRand(8)
+	for _, c := range Curves() {
+		d, q, err := c.GenerateKeyPair(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !c.IsOnCurve(q) {
+			t.Errorf("%s: public key off curve", c.Name)
+		}
+		if !q.Equal(c.ScalarBaseMult(d)) {
+			t.Errorf("%s: Q != d·G", c.Name)
+		}
+	}
+}
+
+func TestHashToInt(t *testing.T) {
+	c := P256()
+	// 32-byte all-ones digest reduces into [0, n).
+	digest := make([]byte, 32)
+	for i := range digest {
+		digest[i] = 0xff
+	}
+	v := c.HashToInt(digest)
+	if v.Sign() < 0 || v.Cmp(c.N) >= 0 {
+		t.Error("HashToInt out of range")
+	}
+	// Longer-than-order digests are truncated from the left.
+	long := append(digest, 0xAA, 0xBB)
+	if c.HashToInt(long).Cmp(v) != 0 {
+		t.Error("HashToInt did not truncate to order length")
+	}
+	// P-224: 32-byte digest must be right-shifted, not just truncated.
+	v224 := P224().HashToInt(digest)
+	if v224.Sign() < 0 || v224.Cmp(P224().N) >= 0 {
+		t.Error("P-224 HashToInt out of range")
+	}
+}
+
+func TestScalarBytesRoundTrip(t *testing.T) {
+	rng := newDetRand(9)
+	c := P256()
+	for i := 0; i < 16; i++ {
+		k, _ := c.RandomScalar(rng)
+		b := c.ScalarToBytes(k)
+		if len(b) != c.ByteLen() {
+			t.Fatalf("scalar bytes length %d", len(b))
+		}
+		k2, err := c.ScalarFromBytes(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k.Cmp(k2) != 0 {
+			t.Fatal("scalar round trip failed")
+		}
+	}
+	if _, err := c.ScalarFromBytes(make([]byte, c.ByteLen())); err == nil {
+		t.Error("zero scalar accepted")
+	}
+	nBytes := c.ScalarToBytes(new(big.Int).Sub(c.N, big.NewInt(1)))
+	if _, err := c.ScalarFromBytes(nBytes); err != nil {
+		t.Errorf("n-1 rejected: %v", err)
+	}
+	if _, err := c.ScalarFromBytes([]byte{1, 2, 3}); err == nil {
+		t.Error("short scalar accepted")
+	}
+}

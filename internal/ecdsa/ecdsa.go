@@ -1,0 +1,260 @@
+// Package ecdsa implements the Elliptic Curve Digital Signature
+// Algorithm over the internal/ec substrate, including RFC 6979
+// deterministic nonce generation and low-S normalisation.
+//
+// It exists (rather than using crypto/ecdsa) because the ECQV scheme
+// needs signatures verified against *reconstructed* public keys held as
+// raw curve points, and the protocol stack needs fixed-width raw r‖s
+// encodings for the byte-exact wire-overhead reproduction of the
+// paper's Table II.
+package ecdsa
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+
+	"repro/internal/ec"
+)
+
+// PrivateKey is an ECDSA signing key.
+type PrivateKey struct {
+	Curve *ec.Curve
+	D     *big.Int
+	Q     ec.Point // public key D·G
+}
+
+// PublicKey is an ECDSA verification key. ECQV reconstructed keys are
+// wrapped in this type for verification.
+type PublicKey struct {
+	Curve *ec.Curve
+	Q     ec.Point
+}
+
+// Signature is a raw ECDSA signature pair.
+type Signature struct {
+	R, S *big.Int
+}
+
+// GenerateKey draws a fresh key pair on curve c. A nil rng selects
+// crypto/rand.
+func GenerateKey(c *ec.Curve, rng io.Reader) (*PrivateKey, error) {
+	d, q, err := c.GenerateKeyPair(rng)
+	if err != nil {
+		return nil, fmt.Errorf("ecdsa: generate key: %w", err)
+	}
+	return &PrivateKey{Curve: c, D: d, Q: q}, nil
+}
+
+// NewPrivateKey wraps an existing scalar (e.g. an ECQV-reconstructed
+// private key) as a signing key, validating its range and deriving the
+// public point.
+func NewPrivateKey(c *ec.Curve, d *big.Int) (*PrivateKey, error) {
+	if d == nil || d.Sign() <= 0 || d.Cmp(c.N) >= 0 {
+		return nil, errors.New("ecdsa: private scalar out of range")
+	}
+	dd := new(big.Int).Set(d)
+	return &PrivateKey{Curve: c, D: dd, Q: c.ScalarBaseMult(dd)}, nil
+}
+
+// Public returns the verification key for k.
+func (k *PrivateKey) Public() *PublicKey {
+	return &PublicKey{Curve: k.Curve, Q: k.Q.Clone()}
+}
+
+// errZeroParam guards the (cryptographically negligible) degenerate
+// nonce cases so signing retries instead of emitting r = 0 or s = 0.
+var errZeroParam = errors.New("ecdsa: zero parameter, retry with new nonce")
+
+// Sign produces a deterministic (RFC 6979) ECDSA signature over the
+// SHA-256 digest of msg. Determinism removes the catastrophic
+// nonce-reuse failure mode on embedded devices without entropy
+// sources — the exact deployment environment of the paper.
+func (k *PrivateKey) Sign(msg []byte) (Signature, error) {
+	digest := sha256.Sum256(msg)
+	return k.SignDigest(digest[:])
+}
+
+// SignDigest signs a precomputed digest.
+func (k *PrivateKey) SignDigest(digest []byte) (Signature, error) {
+	c := k.Curve
+	e := c.HashToInt(digest)
+
+	gen := newRFC6979(c, k.D, digest)
+	for i := 0; i < 128; i++ {
+		nonce := gen.next()
+		sig, err := k.signWithNonce(e, nonce)
+		if err == nil {
+			return sig, nil
+		}
+		if !errors.Is(err, errZeroParam) {
+			return Signature{}, err
+		}
+	}
+	return Signature{}, errors.New("ecdsa: nonce generation did not converge")
+}
+
+func (k *PrivateKey) signWithNonce(e, nonce *big.Int) (Signature, error) {
+	c := k.Curve
+	if nonce.Sign() == 0 || nonce.Cmp(c.N) >= 0 {
+		return Signature{}, errZeroParam
+	}
+	// (x1, _) = nonce·G ; r = x1 mod n
+	p := c.ScalarBaseMult(nonce)
+	r := new(big.Int).Mod(p.X, c.N)
+	if r.Sign() == 0 {
+		return Signature{}, errZeroParam
+	}
+	// s = nonce⁻¹ (e + r·d) mod n
+	kInv := new(big.Int).ModInverse(nonce, c.N)
+	s := new(big.Int).Mul(r, k.D)
+	s.Add(s, e)
+	s.Mul(s, kInv)
+	s.Mod(s, c.N)
+	if s.Sign() == 0 {
+		return Signature{}, errZeroParam
+	}
+	// Low-S normalisation: if s > n/2, use n − s. Removes signature
+	// malleability, matching modern deployments.
+	halfN := new(big.Int).Rsh(c.N, 1)
+	if s.Cmp(halfN) > 0 {
+		s.Sub(c.N, s)
+	}
+	return Signature{R: r, S: s}, nil
+}
+
+// Verify checks sig over the SHA-256 digest of msg.
+func (p *PublicKey) Verify(msg []byte, sig Signature) bool {
+	digest := sha256.Sum256(msg)
+	return p.VerifyDigest(digest[:], sig)
+}
+
+// VerifyDigest checks sig over a precomputed digest.
+func (p *PublicKey) VerifyDigest(digest []byte, sig Signature) bool {
+	c := p.Curve
+	if sig.R == nil || sig.S == nil {
+		return false
+	}
+	if sig.R.Sign() <= 0 || sig.R.Cmp(c.N) >= 0 ||
+		sig.S.Sign() <= 0 || sig.S.Cmp(c.N) >= 0 {
+		return false
+	}
+	if p.Q.IsInfinity() || !c.IsOnCurve(p.Q) {
+		return false
+	}
+	e := c.HashToInt(digest)
+	w := new(big.Int).ModInverse(sig.S, c.N)
+	if w == nil {
+		return false
+	}
+	u1 := new(big.Int).Mul(e, w)
+	u1.Mod(u1, c.N)
+	u2 := new(big.Int).Mul(sig.R, w)
+	u2.Mod(u2, c.N)
+
+	// R' = u1·G + u2·Q via Shamir's trick.
+	rp := c.CombinedMult(p.Q, u1, u2)
+	if rp.IsInfinity() {
+		return false
+	}
+	v := new(big.Int).Mod(rp.X, c.N)
+	return v.Cmp(sig.R) == 0
+}
+
+// Raw signature encoding: fixed-width big-endian r ‖ s, 2·ByteLen
+// bytes (64 B on P-256). This is the "Sign(64)" / "Resp(64)" payload
+// size accounted by Table II of the paper.
+
+// RawSize returns the encoded signature size for curve c.
+func RawSize(c *ec.Curve) int { return 2 * c.ByteLen() }
+
+// EncodeRaw serializes sig as fixed-width r ‖ s.
+func (s Signature) EncodeRaw(c *ec.Curve) []byte {
+	out := make([]byte, 2*c.ByteLen())
+	s.R.FillBytes(out[:c.ByteLen()])
+	s.S.FillBytes(out[c.ByteLen():])
+	return out
+}
+
+// DecodeRaw parses a fixed-width r ‖ s signature.
+func DecodeRaw(c *ec.Curve, data []byte) (Signature, error) {
+	if len(data) != 2*c.ByteLen() {
+		return Signature{}, fmt.Errorf("ecdsa: raw signature length %d, want %d",
+			len(data), 2*c.ByteLen())
+	}
+	r := new(big.Int).SetBytes(data[:c.ByteLen()])
+	s := new(big.Int).SetBytes(data[c.ByteLen():])
+	if r.Sign() <= 0 || r.Cmp(c.N) >= 0 || s.Sign() <= 0 || s.Cmp(c.N) >= 0 {
+		return Signature{}, errors.New("ecdsa: raw signature component out of range")
+	}
+	return Signature{R: r, S: s}, nil
+}
+
+// rfc6979 produces the deterministic nonce stream of RFC 6979 §3.2
+// with HMAC-SHA-256.
+type rfc6979 struct {
+	c    *ec.Curve
+	v, k []byte
+	h    func() []byte // steps the generator and returns candidate bytes
+}
+
+func newRFC6979(c *ec.Curve, priv *big.Int, digest []byte) *rfc6979 {
+	hlen := sha256.Size
+	v := make([]byte, hlen)
+	k := make([]byte, hlen)
+	for i := range v {
+		v[i] = 0x01
+	}
+
+	x := c.ScalarToBytes(priv)
+	h1 := c.ScalarToBytes(c.HashToInt(digest)) // bits2octets(H(m))
+
+	mac := func(key []byte, parts ...[]byte) []byte {
+		m := hmac.New(sha256.New, key)
+		for _, p := range parts {
+			m.Write(p)
+		}
+		return m.Sum(nil)
+	}
+
+	k = mac(k, v, []byte{0x00}, x, h1)
+	v = mac(k, v)
+	k = mac(k, v, []byte{0x01}, x, h1)
+	v = mac(k, v)
+
+	g := &rfc6979{c: c, v: v, k: k}
+	g.h = func() []byte {
+		out := make([]byte, 0, c.ByteLen())
+		for len(out) < c.ByteLen() {
+			g.v = mac(g.k, g.v)
+			out = append(out, g.v...)
+		}
+		return out[:c.ByteLen()]
+	}
+	return g
+}
+
+// next returns the next candidate nonce in [0, 2^qlen); the caller
+// rejects values outside [1, n−1].
+func (g *rfc6979) next() *big.Int {
+	defer func() {
+		// Per RFC 6979: K = HMAC_K(V ‖ 0x00); V = HMAC_K(V) before the
+		// next candidate.
+		mac := hmac.New(sha256.New, g.k)
+		mac.Write(g.v)
+		mac.Write([]byte{0x00})
+		g.k = mac.Sum(nil)
+		mac2 := hmac.New(sha256.New, g.k)
+		mac2.Write(g.v)
+		g.v = mac2.Sum(nil)
+	}()
+	t := g.h()
+	k := new(big.Int).SetBytes(t)
+	if excess := len(t)*8 - g.c.N.BitLen(); excess > 0 {
+		k.Rsh(k, uint(excess))
+	}
+	return k
+}

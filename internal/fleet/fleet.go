@@ -1,0 +1,192 @@
+// Package fleet manages secure sessions from one device to a fleet of
+// peers: session establishment via the STS engine, per-peer record
+// channels, and automatic re-keying when the session policy expires —
+// the operational loop behind the paper's motivation that keys must
+// rotate with communication sessions rather than certificate sessions.
+//
+// The Manager drives both handshake state machines in-process, which
+// matches the library's simulation scope; a deployment would transport
+// the same engine messages over its network stack (see
+// internal/integration for the CAN-FD version of that loop).
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/ecqv"
+	"repro/internal/session"
+)
+
+// Manager maintains sessions from a local device to many peers.
+type Manager struct {
+	self   *core.Party
+	opt    core.STSOptimization
+	policy session.Policy
+
+	mu    sync.Mutex
+	peers map[ecqv.ID]*peerState
+	stats Stats
+}
+
+// Stats counts manager activity.
+type Stats struct {
+	Handshakes int // total STS handshakes run (incl. rekeys)
+	Rekeys     int // handshakes triggered by policy expiry
+	Records    int // records sealed
+}
+
+type peerState struct {
+	party *core.Party
+	// send/recv are this side's channels; peerSend/peerRecv the
+	// remote side's (returned to the caller holding the peer).
+	send, recv *session.Channel
+}
+
+// NewManager creates a session manager for the local device.
+func NewManager(self *core.Party, opt core.STSOptimization, policy session.Policy) (*Manager, error) {
+	if self == nil || self.Cert == nil {
+		return nil, errors.New("fleet: local device not provisioned")
+	}
+	return &Manager{self: self, opt: opt, policy: policy, peers: map[ecqv.ID]*peerState{}}, nil
+}
+
+// Connect establishes (or replaces) the session to a peer by running a
+// full STS handshake through the message-driven engine.
+func (m *Manager) Connect(peer *core.Party) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.connectLocked(peer)
+}
+
+func (m *Manager) connectLocked(peer *core.Party) error {
+	if peer == nil || peer.Cert == nil {
+		return errors.New("fleet: peer not provisioned")
+	}
+	keyBlock, err := m.handshake(peer)
+	if err != nil {
+		return err
+	}
+	send, recv, err := session.NewPair(keyBlock, m.policy)
+	if err != nil {
+		return err
+	}
+	m.peers[peer.ID] = &peerState{party: peer, send: send, recv: recv}
+	m.stats.Handshakes++
+	return nil
+}
+
+// handshake drives initiator (self) and responder (peer) to
+// completion and returns the shared key block.
+func (m *Manager) handshake(peer *core.Party) ([]byte, error) {
+	init, err := core.NewInitiator(m.self, m.opt)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := core.NewResponder(peer, m.opt)
+	if err != nil {
+		return nil, err
+	}
+	msg, err := init.Start()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < 8; i++ {
+		reply, _, err := resp.Handle(msg)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: responder: %w", err)
+		}
+		if reply == nil {
+			break
+		}
+		next, done, err := init.Handle(reply)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: initiator: %w", err)
+		}
+		if done {
+			break
+		}
+		msg = next
+	}
+	keyA, err := init.SessionKey()
+	if err != nil {
+		return nil, err
+	}
+	keyB, err := resp.SessionKey()
+	if err != nil {
+		return nil, err
+	}
+	for i := range keyA {
+		if keyA[i] != keyB[i] {
+			return nil, errors.New("fleet: handshake key mismatch")
+		}
+	}
+	return keyA, nil
+}
+
+// ErrUnknownPeer is returned for peers without a session.
+var ErrUnknownPeer = errors.New("fleet: no session with peer")
+
+// Seal protects a payload for a peer, transparently re-keying (a fresh
+// STS handshake) when the session policy has expired.
+func (m *Manager) Seal(peerID ecqv.ID, payload []byte) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ps, ok := m.peers[peerID]
+	if !ok {
+		return nil, ErrUnknownPeer
+	}
+	rec, err := ps.send.Seal(payload)
+	if errors.Is(err, session.ErrRekeyRequired) {
+		if err := m.connectLocked(ps.party); err != nil {
+			return nil, fmt.Errorf("fleet: rekey: %w", err)
+		}
+		m.stats.Rekeys++
+		rec, err = m.peers[peerID].send.Seal(payload)
+	}
+	if err != nil {
+		return nil, err
+	}
+	m.stats.Records++
+	return rec, nil
+}
+
+// PeerChannel returns the remote side's receive channel for a peer —
+// in this in-process simulation, the handle "the other device" would
+// hold. Records sealed by Seal open on it.
+func (m *Manager) PeerChannel(peerID ecqv.ID) (*session.Channel, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ps, ok := m.peers[peerID]
+	if !ok {
+		return nil, ErrUnknownPeer
+	}
+	return ps.recv, nil
+}
+
+// Disconnect drops the session to a peer.
+func (m *Manager) Disconnect(peerID ecqv.ID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.peers, peerID)
+}
+
+// Peers returns the identities with live sessions.
+func (m *Manager) Peers() []ecqv.ID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]ecqv.ID, 0, len(m.peers))
+	for id := range m.peers {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Stats returns a snapshot of the counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}

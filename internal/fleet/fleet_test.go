@@ -1,0 +1,174 @@
+package fleet
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ec"
+	"repro/internal/ecqv"
+	"repro/internal/session"
+)
+
+type detRand struct{ r *rand.Rand }
+
+func newDetRand(seed int64) *detRand { return &detRand{r: rand.New(rand.NewSource(seed))} }
+
+func (d *detRand) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = byte(d.r.Intn(256))
+	}
+	return len(p), nil
+}
+
+func provision(t *testing.T, seed int64, names ...string) []*core.Party {
+	t.Helper()
+	net, err := core.NewNetwork(ec.P256(), newDetRand(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]*core.Party, len(names))
+	for i, n := range names {
+		out[i], err = net.Provision(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out
+}
+
+func TestManagerMultiPeer(t *testing.T) {
+	parties := provision(t, 1, "gateway", "node-a", "node-b", "node-c")
+	m, err := NewManager(parties[0], core.OptNone, session.DefaultPolicy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range parties[1:] {
+		if err := m.Connect(p); err != nil {
+			t.Fatalf("connect %s: %v", p.ID, err)
+		}
+	}
+	if len(m.Peers()) != 3 {
+		t.Fatalf("%d peers", len(m.Peers()))
+	}
+
+	// Records route to the correct peer and only that peer.
+	for _, p := range parties[1:] {
+		payload := []byte("to " + p.ID.String())
+		rec, err := m.Seal(p.ID, payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ch, err := m.PeerChannel(p.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ch.Open(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatal("payload corrupted")
+		}
+	}
+	// Cross-peer confusion must fail.
+	rec, _ := m.Seal(parties[1].ID, []byte("x"))
+	chOther, _ := m.PeerChannel(parties[2].ID)
+	if _, err := chOther.Open(rec); err == nil {
+		t.Error("record for node-a opened on node-b's channel")
+	}
+
+	if m.Stats().Handshakes != 3 {
+		t.Errorf("handshakes = %d", m.Stats().Handshakes)
+	}
+}
+
+func TestManagerAutoRekey(t *testing.T) {
+	parties := provision(t, 2, "gw", "sensor")
+	m, err := NewManager(parties[0], core.OptNone, session.Policy{MaxRecords: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Connect(parties[1]); err != nil {
+		t.Fatal(err)
+	}
+	id := parties[1].ID
+
+	// Records 0 and 1 fit the policy; record 2 forces a transparent
+	// rekey (fresh handshake) and still succeeds.
+	for i := 0; i < 5; i++ {
+		rec, err := m.Seal(id, []byte{byte(i)})
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		ch, err := m.PeerChannel(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ch.Open(rec)
+		if err != nil {
+			t.Fatalf("record %d open: %v", i, err)
+		}
+		if !bytes.Equal(got, []byte{byte(i)}) {
+			t.Fatalf("record %d corrupted", i)
+		}
+	}
+	st := m.Stats()
+	if st.Rekeys < 1 {
+		t.Errorf("no rekeys recorded: %+v", st)
+	}
+	if st.Handshakes != 1+st.Rekeys {
+		t.Errorf("handshakes %d, rekeys %d", st.Handshakes, st.Rekeys)
+	}
+	if st.Records != 5 {
+		t.Errorf("records = %d", st.Records)
+	}
+}
+
+func TestManagerErrors(t *testing.T) {
+	parties := provision(t, 3, "gw", "peer")
+	if _, err := NewManager(nil, core.OptNone, session.DefaultPolicy); err == nil {
+		t.Error("nil self accepted")
+	}
+	if _, err := NewManager(&core.Party{}, core.OptNone, session.DefaultPolicy); err == nil {
+		t.Error("unprovisioned self accepted")
+	}
+	m, _ := NewManager(parties[0], core.OptNone, session.DefaultPolicy)
+	if err := m.Connect(nil); err == nil {
+		t.Error("nil peer accepted")
+	}
+	if _, err := m.Seal(ecqv.NewID("ghost"), []byte("x")); err == nil {
+		t.Error("unknown peer accepted")
+	}
+	if _, err := m.PeerChannel(ecqv.NewID("ghost")); err == nil {
+		t.Error("unknown peer channel returned")
+	}
+
+	// Disconnect removes the session.
+	if err := m.Connect(parties[1]); err != nil {
+		t.Fatal(err)
+	}
+	m.Disconnect(parties[1].ID)
+	if _, err := m.Seal(parties[1].ID, []byte("x")); err == nil {
+		t.Error("disconnected peer still usable")
+	}
+}
+
+func TestManagerReconnectFreshKeys(t *testing.T) {
+	parties := provision(t, 4, "gw", "peer")
+	m, _ := NewManager(parties[0], core.OptII, session.DefaultPolicy)
+	if err := m.Connect(parties[1]); err != nil {
+		t.Fatal(err)
+	}
+	rec1, _ := m.Seal(parties[1].ID, []byte("before"))
+
+	// Explicit reconnect = new certificate-independent session.
+	if err := m.Connect(parties[1]); err != nil {
+		t.Fatal(err)
+	}
+	ch, _ := m.PeerChannel(parties[1].ID)
+	if _, err := ch.Open(rec1); err == nil {
+		t.Error("pre-reconnect record opened with post-reconnect key")
+	}
+}

@@ -1,0 +1,165 @@
+package hwmodel
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/ec"
+)
+
+// This file implements the paper's declared future work (§VI): "we
+// plan to investigate the influence of security modules and hardware
+// accelerators when considering the implicit certificate protocols on
+// embedded devices, especially those related to session
+// establishment." The extension models two deployment styles:
+//
+//   - a bus-attached secure element (SE050 class): EC operations run
+//     at the module's fixed speed, independent of the host CPU, plus
+//     a per-operation command latency;
+//   - an on-die accelerator / crypto instruction extension: EC
+//     operations speed up by a constant factor relative to the host.
+
+// Accelerator describes an EC offload engine.
+type Accelerator struct {
+	Name string
+	// PointMulMS is the module's own time for one P-256 point
+	// multiplication (bus-attached style). Zero selects the
+	// speedup-factor style instead.
+	PointMulMS float64
+	// CommandLatencyMS is added per offloaded EC operation
+	// (bus/driver round trip). Only used with PointMulMS.
+	CommandLatencyMS float64
+	// Speedup divides the host's EC cost (on-die style). Only used
+	// when PointMulMS is zero.
+	Speedup float64
+}
+
+// Accelerators returns the modelled offload engines.
+func Accelerators() []Accelerator {
+	return []Accelerator{
+		// Discrete secure element over I²C: fast silicon, per-command
+		// overhead (order of SE050/ATECC numbers).
+		{Name: "secure-element", PointMulMS: 15, CommandLatencyMS: 2},
+		// On-die public-key accelerator (PKA) block.
+		{Name: "on-die-pka", Speedup: 12},
+	}
+}
+
+// Accelerate returns a device variant whose EC point-multiplication
+// cost reflects the accelerator. Symmetric work stays on the host.
+func Accelerate(dev Device, acc Accelerator) (Device, error) {
+	out := dev
+	out.Name = dev.Name + "+" + acc.Name
+	switch {
+	case acc.PointMulMS > 0:
+		out.PointMulMS = acc.PointMulMS + acc.CommandLatencyMS
+	case acc.Speedup > 0:
+		out.PointMulMS = dev.PointMulMS / acc.Speedup
+	default:
+		return Device{}, fmt.Errorf("hwmodel: accelerator %q has neither speed nor speedup", acc.Name)
+	}
+	if out.PointMulMS >= dev.PointMulMS {
+		// An accelerator slower than the host is not an accelerator;
+		// report it rather than silently regressing (relevant for the
+		// RPi4, whose software point mult beats a bus-attached SE).
+		return out, fmt.Errorf("hwmodel: %s does not accelerate %s (%.2f ≥ %.2f ms)",
+			acc.Name, dev.Name, out.PointMulMS, dev.PointMulMS)
+	}
+	return out, nil
+}
+
+// FutureWorkTable computes the §VI extension experiment: STS and
+// S-ECDSA times on each device, bare and with each accelerator.
+// Combinations where the accelerator does not help are reported with
+// the bare time.
+func (m *Model) FutureWorkTable() (map[string]map[string]float64, error) {
+	out := map[string]map[string]float64{}
+	protos := []core.Protocol{core.NewSECDSA(false), core.NewSTS(core.OptNone), core.NewSTS(core.OptII)}
+	for _, dev := range m.devices {
+		variants := []Device{dev}
+		for _, acc := range Accelerators() {
+			accDev, err := Accelerate(dev, acc)
+			if err != nil {
+				continue // accelerator does not help this device
+			}
+			variants = append(variants, accDev)
+		}
+		for _, v := range variants {
+			row := map[string]float64{}
+			for _, p := range protos {
+				ms, err := m.ProtocolMS(p, v, v)
+				if err != nil {
+					return nil, err
+				}
+				row[p.Name()] = ms
+			}
+			out[v.Name] = row
+		}
+	}
+	return out, nil
+}
+
+// CurveCostFactor scales the calibrated P-256 point-multiplication
+// cost to another curve. big-integer point multiplication is
+// Θ(bits³): bits iterations of Θ(bits²) field arithmetic.
+func CurveCostFactor(curve *ec.Curve) float64 {
+	r := float64(curve.BitSize) / 256.0
+	return math.Pow(r, 3)
+}
+
+// CurveSweep prices one protocol across the bundled curves on a
+// device — the security-level/performance trade study. Wire bytes come
+// from the curve-dependent certificate and point sizes.
+type CurveSweepRow struct {
+	Curve     string
+	TimeMS    float64
+	WireBytes int
+}
+
+// CurveSweep evaluates the trade study for a protocol trace priced on
+// dev. The trace is curve-independent in operation counts; only the
+// per-operation cost and the wire sizes scale.
+func (m *Model) CurveSweep(p core.Protocol, dev Device) ([]CurveSweepRow, error) {
+	t, err := m.ReferenceTrace(p.Name())
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]CurveSweepRow, 0, 3)
+	for _, curve := range ec.Curves() {
+		scaled := dev
+		scaled.PointMulMS = dev.PointMulMS * CurveCostFactor(curve)
+		ms := m.SequentialMS(t, scaled, scaled)
+		if sts, ok := p.(*core.STS); ok && sts.Optimization() != core.OptNone {
+			ms = m.OptimizedMS(t, scaled, scaled, OverlapSet(sts.Optimization()))
+		}
+		rows = append(rows, CurveSweepRow{
+			Curve:     curve.Name,
+			TimeMS:    ms,
+			WireBytes: wireBytesOnCurve(p, curve),
+		})
+	}
+	return rows, nil
+}
+
+// wireBytesOnCurve recomputes a protocol's Table II total for a curve:
+// certificates are 68 + (ByteLen+1) bytes, raw points and signatures
+// 2·ByteLen.
+func wireBytesOnCurve(p core.Protocol, curve *ec.Curve) int {
+	certSize := 68 + curve.CompressedPointSize()
+	ecSize := 2 * curve.ByteLen()
+	total := 0
+	for _, step := range p.Spec() {
+		for _, f := range step.Fields {
+			switch f.Name {
+			case "Cert":
+				total += certSize
+			case "XG", "Sign", "Resp":
+				total += ecSize
+			default:
+				total += f.Size
+			}
+		}
+	}
+	return total
+}

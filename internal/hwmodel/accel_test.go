@@ -1,0 +1,131 @@
+package hwmodel
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ec"
+)
+
+func TestAccelerate(t *testing.T) {
+	m := newModel(t)
+	s32k, err := m.Device("S32K144")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, acc := range Accelerators() {
+		accDev, err := Accelerate(s32k, acc)
+		if err != nil {
+			t.Fatalf("%s: %v", acc.Name, err)
+		}
+		if accDev.PointMulMS >= s32k.PointMulMS {
+			t.Errorf("%s: no speedup (%.2f vs %.2f)", acc.Name, accDev.PointMulMS, s32k.PointMulMS)
+		}
+		if !strings.Contains(accDev.Name, acc.Name) {
+			t.Errorf("%s: variant name %q", acc.Name, accDev.Name)
+		}
+	}
+
+	// A bus-attached secure element must NOT "accelerate" the RPi4
+	// (software on a 1.5 GHz A72 beats the module + bus latency).
+	rpi, _ := m.Device("RaspberryPi4")
+	se := Accelerators()[0]
+	if _, err := Accelerate(rpi, se); err == nil {
+		t.Error("secure element reported as accelerating the RPi4")
+	}
+
+	// Degenerate accelerator.
+	if _, err := Accelerate(s32k, Accelerator{Name: "noop"}); err == nil {
+		t.Error("empty accelerator accepted")
+	}
+}
+
+func TestFutureWorkTable(t *testing.T) {
+	m := newModel(t)
+	table, err := m.FutureWorkTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bare devices present.
+	for _, dev := range m.Devices() {
+		if _, ok := table[dev.Name]; !ok {
+			t.Errorf("missing bare row for %s", dev.Name)
+		}
+	}
+	// Accelerated S32K144 must beat the bare S32K144 for STS...
+	bare := table["S32K144"]["STS"]
+	accel := table["S32K144+secure-element"]["STS"]
+	if !(accel < bare/3) {
+		t.Errorf("secure element STS %.1f ms not ≪ bare %.1f ms", accel, bare)
+	}
+	// ... and collapse the STS-vs-S-ECDSA gap to insignificance in
+	// absolute terms (the future-work hypothesis: with offload, the
+	// DKD's extra cost stops mattering).
+	gapBare := table["S32K144"]["STS"] - table["S32K144"]["S-ECDSA"]
+	gapAccel := accel - table["S32K144+secure-element"]["S-ECDSA"]
+	if !(gapAccel < gapBare/3) {
+		t.Errorf("accelerated STS gap %.1f ms not ≪ bare gap %.1f ms", gapAccel, gapBare)
+	}
+	// Ordering STS opt II < STS survives acceleration.
+	if !(table["S32K144+on-die-pka"]["STS (opt. II)"] < table["S32K144+on-die-pka"]["STS"]) {
+		t.Error("optimization ordering lost under acceleration")
+	}
+}
+
+func TestCurveCostFactor(t *testing.T) {
+	if got := CurveCostFactor(ec.P256()); got != 1.0 {
+		t.Errorf("P-256 factor %.3f, want 1", got)
+	}
+	f224 := CurveCostFactor(ec.P224())
+	f192 := CurveCostFactor(ec.P192())
+	if !(f192 < f224 && f224 < 1) {
+		t.Errorf("curve factors not ordered: %f, %f", f192, f224)
+	}
+	// (192/256)³ = 0.421875
+	if f192 < 0.42 || f192 > 0.43 {
+		t.Errorf("P-192 factor %.4f", f192)
+	}
+}
+
+func TestCurveSweep(t *testing.T) {
+	m := newModel(t)
+	dev, _ := m.Device("STM32F767")
+	rows, err := m.CurveSweep(core.NewSTS(core.OptNone), dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// Largest curve first (ec.Curves order), decreasing cost and bytes.
+	for i := 0; i+1 < len(rows); i++ {
+		if !(rows[i].TimeMS > rows[i+1].TimeMS) {
+			t.Errorf("time not decreasing: %v", rows)
+		}
+		if !(rows[i].WireBytes > rows[i+1].WireBytes) {
+			t.Errorf("bytes not decreasing: %v", rows)
+		}
+	}
+	// P-256 row must equal the Table I STS cell.
+	table, _ := m.Table1()
+	if diff := rows[0].TimeMS - table["STS"]["STM32F767"]; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("P-256 sweep %.3f != Table I %.3f", rows[0].TimeMS, table["STS"]["STM32F767"])
+	}
+	// P-256 wire bytes must equal Table II (491).
+	if rows[0].WireBytes != 491 {
+		t.Errorf("P-256 sweep bytes %d, want 491", rows[0].WireBytes)
+	}
+
+	// Optimized variant sweeps apply the overlap schedule.
+	optRows, err := m.CurveSweep(core.NewSTS(core.OptII), dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rows {
+		if !(optRows[i].TimeMS < rows[i].TimeMS) {
+			t.Errorf("%s: opt II not faster", rows[i].Curve)
+		}
+	}
+}

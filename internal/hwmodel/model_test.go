@@ -1,0 +1,329 @@
+package hwmodel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func newModel(t *testing.T) *Model {
+	t.Helper()
+	m, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestPaperTableNamesMatchProtocols(t *testing.T) {
+	// Guard: the calibration and comparison tables are keyed by
+	// Protocol.Name(); a rename must not silently orphan a row.
+	names := map[string]bool{}
+	for _, p := range core.Protocols() {
+		names[p.Name()] = true
+	}
+	for proto := range PaperTable1 {
+		if !names[proto] {
+			t.Errorf("PaperTable1 row %q has no protocol", proto)
+		}
+	}
+	for name := range names {
+		if _, ok := PaperTable1[name]; !ok {
+			t.Errorf("protocol %q has no PaperTable1 row", name)
+		}
+	}
+	for dev := range paperSECDSA {
+		found := false
+		for _, spec := range deviceSpecs {
+			if spec.Name == dev {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("calibration device %q not in deviceSpecs", dev)
+		}
+	}
+}
+
+func TestCalibrationMatchesSECDSA(t *testing.T) {
+	// By construction the modelled S-ECDSA must equal the paper's
+	// measured S-ECDSA on every device.
+	m := newModel(t)
+	table, err := m.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for dev, want := range paperSECDSA {
+		got := table["S-ECDSA"][dev]
+		if math.Abs(got-want)/want > 1e-9 {
+			t.Errorf("%s: modelled S-ECDSA %.2f ms, calibration target %.2f ms", dev, got, want)
+		}
+	}
+}
+
+func TestTable1Ordering(t *testing.T) {
+	// The qualitative Table I ordering must hold on every device:
+	// SCIANC < PORAMB < STS opt II < S-ECDSA ≤ S-ECDSA ext,
+	// and S-ECDSA ≤ STS opt I < STS.
+	m := newModel(t)
+	table, err := m.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dev := range m.Devices() {
+		get := func(p string) float64 { return table[p][dev.Name] }
+		chain := []string{"SCIANC", "PORAMB", "STS (opt. II)", "S-ECDSA"}
+		for i := 0; i+1 < len(chain); i++ {
+			if !(get(chain[i]) < get(chain[i+1])) {
+				t.Errorf("%s: %s (%.1f) not < %s (%.1f)",
+					dev.Name, chain[i], get(chain[i]), chain[i+1], get(chain[i+1]))
+			}
+		}
+		if !(get("S-ECDSA") <= get("S-ECDSA (ext.)")) {
+			t.Errorf("%s: ext variant faster than base", dev.Name)
+		}
+		if !(get("S-ECDSA") <= get("STS (opt. I)")) {
+			t.Errorf("%s: STS opt I (%.1f) below S-ECDSA (%.1f)",
+				dev.Name, get("STS (opt. I)"), get("S-ECDSA"))
+		}
+		if !(get("STS (opt. I)") < get("STS")) {
+			t.Errorf("%s: opt I not faster than plain STS", dev.Name)
+		}
+	}
+}
+
+func TestSTSOverheadAbout20Percent(t *testing.T) {
+	// The headline claim: STS costs ≈ 20–25 % more than S-ECDSA
+	// ("a slight computational increase of 20%", measured 21.67 % in
+	// the prototype, 25.4 % in Table I on the STM32F767).
+	m := newModel(t)
+	table, err := m.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dev := range m.Devices() {
+		ratio := table["STS"][dev.Name] / table["S-ECDSA"][dev.Name]
+		if ratio < 1.15 || ratio > 1.35 {
+			t.Errorf("%s: STS/S-ECDSA ratio %.3f outside [1.15, 1.35]", dev.Name, ratio)
+		}
+	}
+}
+
+func TestDeviceSpeedOrdering(t *testing.T) {
+	// Hardware class ordering: RPi4 ≪ STM32F767 < S32K144 ≪ ATmega2560.
+	m := newModel(t)
+	table, err := m.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for proto, row := range table {
+		if !(row["RaspberryPi4"] < row["STM32F767"] &&
+			row["STM32F767"] < row["S32K144"] &&
+			row["S32K144"] < row["ATmega2560"]) {
+			t.Errorf("%s: device ordering violated: %+v", proto, row)
+		}
+	}
+}
+
+func TestTable1AgainstPaperShape(t *testing.T) {
+	// Every modelled cell must be within 2× of the paper's measured
+	// value (most are far closer; the bound catches gross model
+	// breakage while tolerating the known Opt.-I ideal-vs-measured
+	// gap).
+	m := newModel(t)
+	table, err := m.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for proto, wantRow := range PaperTable1 {
+		for dev, want := range wantRow {
+			got := table[proto][dev]
+			ratio := got / want
+			if ratio < 0.5 || ratio > 2.0 {
+				t.Errorf("%s/%s: modelled %.1f ms vs paper %.1f ms (ratio %.2f)",
+					proto, dev, got, want, ratio)
+			}
+		}
+	}
+}
+
+func TestOptimizationFormulas(t *testing.T) {
+	// Equations (5), (7), (8) with identical devices: the sequential
+	// time is the sum of all phases of both parties; each overlapped
+	// phase then costs max(T_A, T_B) instead of T_A + T_B, i.e. the
+	// saving is min(T_A, T_B) summed over the overlap set.
+	m := newModel(t)
+	dev, err := m.Device("STM32F767")
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err := m.ReferenceTrace("STS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := m.PhaseMS(trace, dev)
+	raw := m.RawPhaseMS(trace, dev)
+
+	seq := m.SequentialMS(trace, dev, dev)
+	sum := 0.0
+	for _, role := range []core.PartyRole{core.RoleA, core.RoleB} {
+		for _, ph := range core.Phases() {
+			sum += base[role][ph]
+		}
+	}
+	if math.Abs(seq-sum) > 1e-9 {
+		t.Errorf("equation (5) violated: %.3f vs %.3f", seq, sum)
+	}
+
+	minOver := func(ph core.Phase) float64 {
+		return math.Min(raw[core.RoleA][ph], raw[core.RoleB][ph])
+	}
+
+	opt1 := m.OptimizedMS(trace, dev, dev, OverlapSet(core.OptI))
+	saving1 := minOver(core.PhaseOp2PubKey)
+	if math.Abs((seq-opt1)-saving1) > 1e-9 {
+		t.Errorf("equation (7) saving %.3f, want %.3f", seq-opt1, saving1)
+	}
+
+	opt2 := m.OptimizedMS(trace, dev, dev, OverlapSet(core.OptII))
+	saving2 := saving1 + minOver(core.PhaseOp2Premaster) + minOver(core.PhaseOp3)
+	if math.Abs((seq-opt2)-saving2) > 1e-9 {
+		t.Errorf("equation (8) saving %.3f, want %.3f", seq-opt2, saving2)
+	}
+
+	if !(opt2 < opt1 && opt1 < seq) {
+		t.Errorf("optimization ordering violated: %.1f, %.1f, %.1f", seq, opt1, opt2)
+	}
+}
+
+func TestEquationSixMixedDevices(t *testing.T) {
+	// Equation (6): with unequal devices, the overlapped phase adds
+	// |TOpAx − TOpBx| on top of the faster device's time — i.e. it
+	// costs max(TA, TB).
+	m := newModel(t)
+	fast, _ := m.Device("RaspberryPi4")
+	slow, _ := m.Device("ATmega2560")
+	trace, _ := m.ReferenceTrace("STS")
+	rawFast := m.RawPhaseMS(trace, fast)
+	rawSlow := m.RawPhaseMS(trace, slow)
+
+	seq := m.SequentialMS(trace, fast, slow)
+	opt := m.OptimizedMS(trace, fast, slow, OverlapSet(core.OptI))
+
+	ta := rawFast[core.RoleA][core.PhaseOp2PubKey]
+	tb := rawSlow[core.RoleB][core.PhaseOp2PubKey]
+	saving := math.Min(ta, tb)
+	if math.Abs((seq-opt)-saving) > 1e-9 {
+		t.Errorf("mixed-device saving %.3f, want min(%.3f, %.3f)", seq-opt, ta, tb)
+	}
+}
+
+func TestOptIMatchesPaperSaving(t *testing.T) {
+	// The paper's measured Table I implies an Opt. I saving of
+	// 3162.07 − 2818.02 = 344 ms on the STM32F767 — one public-key
+	// reconstruction (≈ 1.17 point multiplications). The modelled
+	// saving must land within ±25 % of that.
+	m := newModel(t)
+	dev, _ := m.Device("STM32F767")
+	table, err := m.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = dev
+	gotSaving := table["STS"]["STM32F767"] - table["STS (opt. I)"]["STM32F767"]
+	paperSaving := PaperTable1["STS"]["STM32F767"] - PaperTable1["STS (opt. I)"]["STM32F767"]
+	if gotSaving < paperSaving*0.75 || gotSaving > paperSaving*1.25 {
+		t.Errorf("Opt. I saving %.1f ms, paper %.1f ms", gotSaving, paperSaving)
+	}
+
+	gotSaving2 := table["STS"]["STM32F767"] - table["STS (opt. II)"]["STM32F767"]
+	paperSaving2 := PaperTable1["STS"]["STM32F767"] - PaperTable1["STS (opt. II)"]["STM32F767"]
+	if gotSaving2 < paperSaving2*0.75 || gotSaving2 > paperSaving2*1.25 {
+		t.Errorf("Opt. II saving %.1f ms, paper %.1f ms", gotSaving2, paperSaving2)
+	}
+}
+
+func TestFig3PhaseShape(t *testing.T) {
+	// Fig. 3 / Fig. 7 shape: Op2 (public key + premaster, two point
+	// multiplications) is the heaviest phase; Op1 (one base
+	// multiplication) is the lightest of the EC phases.
+	m := newModel(t)
+	dev, _ := m.Device("STM32F767")
+	trace, _ := m.ReferenceTrace("STS")
+	phases := m.PhaseMS(trace, dev)
+
+	for _, role := range []core.PartyRole{core.RoleA, core.RoleB} {
+		op := phases[role]
+		if !(op[core.PhaseOp2] > op[core.PhaseOp1]) {
+			t.Errorf("%s: Op2 (%.1f) not heavier than Op1 (%.1f)", role, op[core.PhaseOp2], op[core.PhaseOp1])
+		}
+		if !(op[core.PhaseOp2] > op[core.PhaseOp3]) {
+			t.Errorf("%s: Op2 (%.1f) not heavier than Op3 (%.1f)", role, op[core.PhaseOp2], op[core.PhaseOp3])
+		}
+		if !(op[core.PhaseOp4] > op[core.PhaseOp1]) {
+			t.Errorf("%s: Op4 (%.1f) not heavier than Op1 (%.1f)", role, op[core.PhaseOp4], op[core.PhaseOp1])
+		}
+		// All phases strictly positive.
+		for _, ph := range core.Phases() {
+			if op[ph] <= 0 {
+				t.Errorf("%s %s: non-positive phase time", role, ph)
+			}
+		}
+	}
+}
+
+func TestS32KOp1MatchesFig7(t *testing.T) {
+	// Fig. 7(A): XG generation on the S32K144 ≈ 323 ms. The calibrated
+	// model should land in the same range (±40 %) — Op1 is dominated by
+	// exactly one base multiplication.
+	m := newModel(t)
+	dev, _ := m.Device("S32K144")
+	trace, _ := m.ReferenceTrace("STS")
+	op1 := m.PhaseMS(trace, dev)[core.RoleA][core.PhaseOp1]
+	if op1 < 323*0.6 || op1 > 323*1.4 {
+		t.Errorf("S32K144 Op1 = %.1f ms, Fig. 7 shows ≈ 323 ms", op1)
+	}
+}
+
+func TestDeviceLookup(t *testing.T) {
+	m := newModel(t)
+	if _, err := m.Device("STM32F767"); err != nil {
+		t.Error(err)
+	}
+	if _, err := m.Device("ESP32"); err == nil {
+		t.Error("unknown device accepted")
+	}
+	if len(m.Devices()) != 4 {
+		t.Errorf("%d devices, want 4", len(m.Devices()))
+	}
+	for _, d := range m.Devices() {
+		if d.PointMulMS <= 0 {
+			t.Errorf("%s: non-positive calibrated cost", d.Name)
+		}
+	}
+	// Classes per §V-A.
+	classes := map[string]Class{
+		"ATmega2560": ClassLowEnd, "S32K144": ClassMidTier,
+		"STM32F767": ClassMidTier, "RaspberryPi4": ClassHighEnd,
+	}
+	for _, d := range m.Devices() {
+		if d.Class != classes[d.Name] {
+			t.Errorf("%s: class %s", d.Name, d.Class)
+		}
+	}
+}
+
+func TestReferenceTraceMissing(t *testing.T) {
+	m := newModel(t)
+	if _, err := m.ReferenceTrace("NOPE"); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+}
+
+func TestCostModelUnknownPrimitive(t *testing.T) {
+	cm := DefaultCostModel()
+	if u := cm.EventUnits(core.Event{Prim: core.Primitive(999), N: 5}); u != 0 {
+		t.Errorf("unknown primitive priced at %f", u)
+	}
+}

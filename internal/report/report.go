@@ -1,0 +1,93 @@
+// Package report renders experiment output: aligned text tables and
+// ASCII bar charts, shared by the cmd tools that regenerate the
+// paper's tables and figures.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends one row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = displayWidth(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && displayWidth(c) > widths[i] {
+				widths[i] = displayWidth(c)
+			}
+		}
+	}
+
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			pad := 0
+			if i < len(widths) {
+				pad = widths[i] - displayWidth(c)
+			}
+			parts[i] = c + strings.Repeat(" ", pad)
+		}
+		fmt.Fprintf(w, "  %s\n", strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+// displayWidth approximates terminal width, counting runes (the
+// verdict symbols ✓/∆ are single cells).
+func displayWidth(s string) int {
+	n := 0
+	for range s {
+		n++
+	}
+	return n
+}
+
+// Bar renders one labelled horizontal bar scaled to maxValue over
+// width characters.
+func Bar(w io.Writer, label string, value, maxValue float64, width int, unit string) {
+	if maxValue <= 0 {
+		maxValue = 1
+	}
+	n := int(value / maxValue * float64(width))
+	if n < 0 {
+		n = 0
+	}
+	if n > width {
+		n = width
+	}
+	fmt.Fprintf(w, "  %-24s %s%s %10.2f %s\n",
+		label, strings.Repeat("█", n), strings.Repeat(" ", width-n), value, unit)
+}
+
+// Section prints an underlined heading.
+func Section(w io.Writer, title string) {
+	fmt.Fprintf(w, "\n%s\n%s\n", title, strings.Repeat("=", displayWidth(title)))
+}

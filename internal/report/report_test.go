@@ -1,0 +1,86 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		Title:  "demo",
+		Header: []string{"name", "value"},
+	}
+	tab.AddRow("alpha", "1")
+	tab.AddRow("beta-long-name", "22")
+
+	var buf bytes.Buffer
+	tab.Render(&buf)
+	out := buf.String()
+
+	if !strings.Contains(out, "demo") {
+		t.Error("title missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("%d lines: %q", len(lines), out)
+	}
+	// Columns aligned: "value" header starts at the same offset in all
+	// body lines.
+	headerIdx := strings.Index(lines[1], "value")
+	if headerIdx < 0 {
+		t.Fatal("header missing")
+	}
+	if idx := strings.Index(lines[3], "1"); idx != headerIdx {
+		t.Errorf("column misaligned: %d vs %d", idx, headerIdx)
+	}
+	if idx := strings.Index(lines[4], "22"); idx != headerIdx {
+		t.Errorf("column misaligned: %d vs %d", idx, headerIdx)
+	}
+}
+
+func TestTableUnicodeWidth(t *testing.T) {
+	// Verdict symbols must count as one cell, not their UTF-8 byte
+	// length.
+	if displayWidth("✓") != 1 || displayWidth("∆") != 1 {
+		t.Error("unicode width wrong")
+	}
+	if displayWidth("abc") != 3 {
+		t.Error("ascii width wrong")
+	}
+}
+
+func TestBarClamps(t *testing.T) {
+	var buf bytes.Buffer
+	Bar(&buf, "x", 50, 100, 10, "ms")
+	if !strings.Contains(buf.String(), "█████     ") {
+		t.Errorf("bar output %q", buf.String())
+	}
+	// Over-max clamps to full width.
+	buf.Reset()
+	Bar(&buf, "x", 200, 100, 10, "ms")
+	if !strings.Contains(buf.String(), strings.Repeat("█", 10)) {
+		t.Error("over-max bar not clamped")
+	}
+	// Zero max does not divide by zero.
+	buf.Reset()
+	Bar(&buf, "x", 1, 0, 10, "ms")
+	if buf.Len() == 0 {
+		t.Error("zero-max bar produced nothing")
+	}
+	// Negative value clamps to empty.
+	buf.Reset()
+	Bar(&buf, "x", -5, 100, 10, "ms")
+	if strings.Contains(buf.String(), "█") {
+		t.Error("negative bar rendered blocks")
+	}
+}
+
+func TestSection(t *testing.T) {
+	var buf bytes.Buffer
+	Section(&buf, "Header")
+	out := buf.String()
+	if !strings.Contains(out, "Header\n======") {
+		t.Errorf("section output %q", out)
+	}
+}

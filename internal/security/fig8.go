@@ -1,0 +1,117 @@
+package security
+
+// Figure 8 of the paper maps the STS-ECQV design's countermeasures to
+// the threat model. This file encodes that block diagram as data so
+// the experiment harness can render it and the tests can check its
+// consistency with the simulated Table III verdicts.
+
+// Asset is a protected system asset (§IV-A).
+type Asset string
+
+const (
+	// AssetSessionData — the exchanged session traffic.
+	AssetSessionData Asset = "Session Data"
+	// AssetCredentials — long-term security credentials.
+	AssetCredentials Asset = "Security Credentials"
+)
+
+// Countermeasure is one of the design properties of Fig. 8.
+type Countermeasure string
+
+const (
+	// CounterForwardSecrecy — C1: ephemeral per-session secrets.
+	CounterForwardSecrecy Countermeasure = "C1: Forward Secrecy"
+	// CounterECDSAAuth — C2: ECDSA mutual authentication under
+	// ECQV-reconstructed keys.
+	CounterECDSAAuth Countermeasure = "C2: ECDSA Authentication"
+	// CounterSTSECQV — C3: the combined STS & ECQV protocol property
+	// (fresh KD bound to authenticated identities).
+	CounterSTSECQV Countermeasure = "C3: STS & ECQV Property"
+)
+
+// ThreatMapping is one threat node of the Fig. 8 diagram.
+type ThreatMapping struct {
+	ID      string
+	Name    string
+	Assets  []Asset
+	Counter []Countermeasure
+	// Residual marks the "[R] partial protection" annotation: the
+	// countermeasures reduce but do not eliminate the threat.
+	Residual bool
+	// Criterion links the threat to its Table III row for consistency
+	// checks ("" when the row has no direct counterpart).
+	Criterion Criterion
+}
+
+// Fig8Mapping returns the STS-ECQV threat/countermeasure diagram.
+func Fig8Mapping() []ThreatMapping {
+	return []ThreatMapping{
+		{
+			ID:        "T1",
+			Name:      "Past Data Exposure",
+			Assets:    []Asset{AssetSessionData},
+			Counter:   []Countermeasure{CounterForwardSecrecy},
+			Criterion: CritDataExposure,
+		},
+		{
+			ID:        "T2",
+			Name:      "MitM Attacks",
+			Assets:    []Asset{AssetSessionData, AssetCredentials},
+			Counter:   []Countermeasure{CounterECDSAAuth},
+			Criterion: CritAuthProcedure,
+		},
+		{
+			ID:        "T3",
+			Name:      "Node Capture",
+			Assets:    []Asset{AssetSessionData, AssetCredentials},
+			Counter:   []Countermeasure{CounterForwardSecrecy, CounterECDSAAuth},
+			Residual:  true, // "[R] partial protection"
+			Criterion: CritNodeCapture,
+		},
+		{
+			ID:        "T4",
+			Name:      "Key Data Reuse",
+			Assets:    []Asset{AssetSessionData},
+			Counter:   []Countermeasure{CounterForwardSecrecy, CounterSTSECQV},
+			Criterion: CritKeyDataReuse,
+		},
+		{
+			ID:        "T5",
+			Name:      "Key Deriv. Exploitation",
+			Assets:    []Asset{AssetSessionData, AssetCredentials},
+			Counter:   []Countermeasure{CounterSTSECQV},
+			Criterion: CritKeyDerivationExploit,
+		},
+	}
+}
+
+// ConsistentWith checks the Fig. 8 mapping against a simulated STS
+// assessment: threats with countermeasures and no residual marker must
+// be fully protected; residual threats must be partial.
+func ConsistentWith(sts *Assessment) error {
+	for _, t := range Fig8Mapping() {
+		v, ok := sts.Verdicts[t.Criterion]
+		if !ok {
+			return errMissing(t)
+		}
+		if t.Residual && v != VerdictPartial {
+			return errVerdict(t, v, VerdictPartial)
+		}
+		if !t.Residual && v != VerdictFull {
+			return errVerdict(t, v, VerdictFull)
+		}
+	}
+	return nil
+}
+
+type fig8Error struct{ msg string }
+
+func (e fig8Error) Error() string { return e.msg }
+
+func errMissing(t ThreatMapping) error {
+	return fig8Error{"fig8: no verdict for " + t.ID + " (" + string(t.Criterion) + ")"}
+}
+
+func errVerdict(t ThreatMapping, got, want Verdict) error {
+	return fig8Error{"fig8: " + t.ID + " verdict " + got.String() + ", want " + want.String()}
+}

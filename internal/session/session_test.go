@@ -1,0 +1,328 @@
+package session
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func testKeyBlock() []byte {
+	kb := make([]byte, 48)
+	for i := range kb {
+		kb[i] = byte(i + 1)
+	}
+	return kb
+}
+
+func newPair(t *testing.T, policy Policy) (*Channel, *Channel) {
+	t.Helper()
+	a, b, err := NewPair(testKeyBlock(), policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, b
+}
+
+func TestEmptyRecord(t *testing.T) {
+	// Zero-length payloads (keep-alives) must round-trip: an empty
+	// record still carries its authenticated header.
+	a, b := newPair(t, DefaultPolicy)
+	rec, err := a.Seal(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec) != Overhead {
+		t.Fatalf("empty record size %d, want %d", len(rec), Overhead)
+	}
+	got, err := b.Open(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty record decoded to %d bytes", len(got))
+	}
+	// And it still consumes a sequence number (no replay).
+	if _, err := b.Open(rec); !errors.Is(err, ErrReplay) {
+		t.Error("empty record replayable")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	a, b := newPair(t, DefaultPolicy)
+	for i := 0; i < 8; i++ {
+		msg := []byte{byte(i), 0xAA, 0xBB}
+		rec, err := a.Seal(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rec) != len(msg)+Overhead {
+			t.Fatalf("record size %d", len(rec))
+		}
+		got, err := b.Open(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, msg) {
+			t.Fatal("round trip failed")
+		}
+	}
+	// And the reverse direction, interleaved.
+	for i := 0; i < 4; i++ {
+		rec, err := b.Seal([]byte("resp"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := a.Open(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestReplayRejected(t *testing.T) {
+	a, b := newPair(t, DefaultPolicy)
+	rec, err := a.Seal([]byte("one"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Open(rec); err != nil {
+		t.Fatal(err)
+	}
+	// Exact replay.
+	if _, err := b.Open(rec); !errors.Is(err, ErrReplay) {
+		t.Errorf("replay accepted: %v", err)
+	}
+	// A later record after the replay attempt still works.
+	rec2, _ := a.Seal([]byte("two"))
+	if _, err := b.Open(rec2); err != nil {
+		t.Fatal(err)
+	}
+	// Replaying the older record again still fails.
+	if _, err := b.Open(rec); !errors.Is(err, ErrReplay) {
+		t.Error("old record accepted after progress")
+	}
+}
+
+func TestOutOfOrderRejected(t *testing.T) {
+	a, b := newPair(t, DefaultPolicy)
+	r1, _ := a.Seal([]byte("1"))
+	r2, _ := a.Seal([]byte("2"))
+	if _, err := b.Open(r2); !errors.Is(err, ErrReplay) {
+		t.Errorf("gap accepted: %v", err)
+	}
+	// In-order delivery still works after the rejected attempt.
+	if _, err := b.Open(r1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Open(r2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTamperingRejected(t *testing.T) {
+	a, b := newPair(t, DefaultPolicy)
+	rec, _ := a.Seal([]byte("sensitive"))
+	for _, idx := range []int{0, 7, 8, recordHeader, len(rec) - 1} {
+		mod := append([]byte(nil), rec...)
+		mod[idx] ^= 0x01
+		if _, err := b.Open(mod); err == nil {
+			t.Errorf("tampering at byte %d accepted", idx)
+		}
+	}
+	if _, err := b.Open(rec[:Overhead-1]); !errors.Is(err, ErrMalformed) {
+		t.Error("short record accepted")
+	}
+	// A record sent in the wrong direction (reflection attack).
+	if _, err := a.Open(rec); err == nil {
+		t.Error("reflected record accepted by its own sender")
+	}
+}
+
+func TestRekeyPolicyRecords(t *testing.T) {
+	a, b := newPair(t, Policy{MaxRecords: 3})
+	for i := 0; i < 3; i++ {
+		rec, err := a.Seal([]byte("x"))
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if _, err := b.Open(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !a.NeedsRekey() {
+		t.Error("sender does not report rekey need")
+	}
+	if _, err := a.Seal([]byte("x")); !errors.Is(err, ErrRekeyRequired) {
+		t.Errorf("policy not enforced on send: %v", err)
+	}
+	if _, err := b.Open([]byte("anything")); !errors.Is(err, ErrRekeyRequired) {
+		t.Errorf("policy not enforced on receive: %v", err)
+	}
+}
+
+func TestRekeyPolicyAge(t *testing.T) {
+	a, _ := newPair(t, Policy{MaxAge: time.Hour})
+	now := time.Unix(1700000000, 0)
+	a.SetClock(func() time.Time { return now })
+	if _, err := a.Seal([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(2 * time.Hour)
+	if _, err := a.Seal([]byte("x")); !errors.Is(err, ErrRekeyRequired) {
+		t.Errorf("aged key still usable: %v", err)
+	}
+}
+
+func TestUnlimitedPolicy(t *testing.T) {
+	a, b := newPair(t, Policy{})
+	for i := 0; i < 100; i++ {
+		rec, err := a.Seal([]byte("x"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.Open(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.NeedsRekey() {
+		t.Error("unlimited policy reported expiry")
+	}
+	if a.RecordsSent() != 100 {
+		t.Errorf("RecordsSent = %d", a.RecordsSent())
+	}
+}
+
+func TestNewPairValidation(t *testing.T) {
+	if _, _, err := NewPair(make([]byte, 10), DefaultPolicy); err == nil {
+		t.Error("short key block accepted")
+	}
+}
+
+func TestKeystreamUniqueness(t *testing.T) {
+	// Identical plaintexts in consecutive records must produce
+	// different ciphertexts (per-record keystream).
+	a, _ := newPair(t, DefaultPolicy)
+	r1, _ := a.Seal([]byte("same message"))
+	r2, _ := a.Seal([]byte("same message"))
+	if bytes.Equal(r1[recordHeader:len(r1)-tagSize], r2[recordHeader:len(r2)-tagSize]) {
+		t.Error("keystream reused across records")
+	}
+	// And across directions for the same sequence number.
+	x, y := newPair(t, DefaultPolicy)
+	rx, _ := x.Seal([]byte("same message"))
+	ry, _ := y.Seal([]byte("same message"))
+	if bytes.Equal(rx[recordHeader:len(rx)-tagSize], ry[recordHeader:len(ry)-tagSize]) {
+		t.Error("keystream reused across directions")
+	}
+}
+
+func TestCrossSessionIsolation(t *testing.T) {
+	// Records of one session must not open in another (fresh key
+	// block, as produced by a new STS run).
+	a1, _ := newPair(t, DefaultPolicy)
+	other := testKeyBlock()
+	other[0] ^= 0xFF  // different encryption key
+	other[20] ^= 0xFF // different MAC key (bytes 16..47 are the MAC half)
+	_, b2, err := NewPair(other, DefaultPolicy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, _ := a1.Seal([]byte("session 1 data"))
+	if _, err := b2.Open(rec); !errors.Is(err, ErrAuth) {
+		t.Errorf("cross-session record accepted: %v", err)
+	}
+}
+
+func TestReorderWindow(t *testing.T) {
+	a, b := newPair(t, Policy{ReorderWindow: 4})
+	// Seal five records, deliver out of order: 0, 2, 1, 4, 3.
+	recs := make([][]byte, 5)
+	for i := range recs {
+		r, err := a.Seal([]byte{byte(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs[i] = r
+	}
+	for _, i := range []int{0, 2, 1, 4, 3} {
+		got, err := b.Open(recs[i])
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if got[0] != byte(i) {
+			t.Fatalf("record %d corrupted", i)
+		}
+	}
+	// Every replay must now fail.
+	for i, r := range recs {
+		if _, err := b.Open(r); !errors.Is(err, ErrReplay) {
+			t.Errorf("replay of record %d accepted: %v", i, err)
+		}
+	}
+}
+
+func TestReorderWindowExpiry(t *testing.T) {
+	a, b := newPair(t, Policy{ReorderWindow: 2})
+	recs := make([][]byte, 6)
+	for i := range recs {
+		recs[i], _ = a.Seal([]byte{byte(i)})
+	}
+	// Accept 0, then jump to 5: records 3 and earlier fall out of the
+	// window [4, 5].
+	if _, err := b.Open(recs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Open(recs[5]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Open(recs[4]); err != nil {
+		t.Fatalf("in-window record rejected: %v", err)
+	}
+	for _, i := range []int{1, 2, 3} {
+		if _, err := b.Open(recs[i]); !errors.Is(err, ErrReplay) {
+			t.Errorf("below-window record %d accepted: %v", i, err)
+		}
+	}
+}
+
+func TestReorderWindowLargeJump(t *testing.T) {
+	// A jump ≥ 64 must clear the whole mask without shifting UB.
+	a, b := newPair(t, Policy{ReorderWindow: 64})
+	var last []byte
+	for i := 0; i < 70; i++ {
+		r, err := a.Seal([]byte{byte(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 || i == 69 {
+			if _, err := b.Open(r); err != nil {
+				t.Fatalf("record %d: %v", i, err)
+			}
+		}
+		last = r
+	}
+	if _, err := b.Open(last); !errors.Is(err, ErrReplay) {
+		t.Errorf("replay after large jump accepted: %v", err)
+	}
+}
+
+// TestQuickRoundTrip property-tests the record layer over random
+// payloads.
+func TestQuickRoundTrip(t *testing.T) {
+	a, b, err := NewPair(testKeyBlock(), Policy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(msg []byte) bool {
+		rec, err := a.Seal(msg)
+		if err != nil {
+			return false
+		}
+		got, err := b.Open(rec)
+		return err == nil && bytes.Equal(got, msg)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 64}); err != nil {
+		t.Error(err)
+	}
+}
