@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: build test race bench bench-smoke fmt fmt-check vet
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run='^$$' -bench=. -benchmem ./...
+
+# Compile and execute every benchmark exactly once — catches bit-rotted
+# benches without paying for full measurement runs (used by CI).
+bench-smoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...

@@ -10,6 +10,7 @@
 package repro
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -20,6 +21,7 @@ import (
 	"repro/internal/ec"
 	"repro/internal/ecdsa"
 	"repro/internal/ecqv"
+	"repro/internal/fleet"
 	"repro/internal/group"
 	"repro/internal/hwmodel"
 	"repro/internal/kdf"
@@ -452,6 +454,75 @@ func BenchmarkGroupRekey(b *testing.B) {
 				if _, err := leader.Add(parties[0]); err != nil {
 					b.Fatal(err)
 				}
+			}
+		})
+	}
+}
+
+// BenchmarkEstablishAll prices bringing a whole fleet online through
+// the sharded Manager's worker pool: 16 concurrent STS handshakes per
+// iteration, swept over worker counts. Throughput (handshakes/s) should
+// scale with workers up to GOMAXPROCS — the lock-striping claim.
+func BenchmarkEstablishAll(b *testing.B) {
+	const fleetSize = 16
+	net, err := core.NewNetwork(ec.P256(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	names := make([]string, 1+fleetSize)
+	names[0] = "gateway"
+	for i := 1; i < len(names); i++ {
+		names[i] = fmt.Sprintf("fleet-%02d", i)
+	}
+	parties, err := net.ProvisionBatch(names, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gw, peers := parties[0], parties[1:]
+
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			m, err := fleet.NewManager(gw, core.OptNone, session.DefaultPolicy)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := errors.Join(m.EstablishAll(peers, workers)...); err != nil {
+					b.Fatalf("failures: %v", err)
+				}
+			}
+			b.StopTimer()
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(fleetSize*b.N)/secs, "handshakes/s")
+			}
+		})
+	}
+}
+
+// BenchmarkEnrollBatch prices batch certificate issuance: 32 devices
+// enrolled per iteration (request, ECQV issuance, reconstruction)
+// through the provisioning worker pool, swept over worker counts.
+func BenchmarkEnrollBatch(b *testing.B) {
+	const batch = 32
+	net, err := core.NewNetwork(ec.P256(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	names := make([]string, batch)
+	for i := range names {
+		names[i] = fmt.Sprintf("enroll-%02d", i)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := net.ProvisionBatch(names, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(batch*b.N)/secs, "enrollments/s")
 			}
 		})
 	}

@@ -1,0 +1,144 @@
+package ecqvsts
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestEnrollBatch(t *testing.T) {
+	authority, err := NewAuthority(WithRand(newDetRand(42)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, 24)
+	for i := range names {
+		names[i] = fmt.Sprintf("node-%02d", i)
+	}
+	devices, err := authority.EnrollBatch(names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(devices) != len(names) {
+		t.Fatalf("%d devices for %d names", len(devices), len(names))
+	}
+	seen := map[string]bool{}
+	for i, d := range devices {
+		if d == nil {
+			t.Fatalf("device %d nil", i)
+		}
+		if d.ID() != names[i] {
+			t.Errorf("device %d: ID %q, want %q", i, d.ID(), names[i])
+		}
+		cert := string(d.Certificate())
+		if seen[cert] {
+			t.Errorf("device %d: duplicate certificate", i)
+		}
+		seen[cert] = true
+	}
+
+	// Batch-enrolled devices interoperate with the normal lifecycle.
+	s, err := Establish(STS, devices[0], devices[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := s.Seal([]byte("batch hello"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt, err := s.Open(ct, nil); err != nil || string(pt) != "batch hello" {
+		t.Fatalf("roundtrip: %q, %v", pt, err)
+	}
+}
+
+func TestEnrollBatchEmpty(t *testing.T) {
+	authority, err := NewAuthority(WithRand(newDetRand(43)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	devices, err := authority.EnrollBatch(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(devices) != 0 {
+		t.Fatalf("%d devices from empty batch", len(devices))
+	}
+}
+
+func TestEstablishMany(t *testing.T) {
+	authority, err := NewAuthority(WithRand(newDetRand(44)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"gw", "a", "b", "c", "d", "e"}
+	devices, err := authority.EnrollBatch(names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	self, peers := devices[0], devices[1:]
+
+	for _, workers := range []int{1, 4, 0} {
+		sessions, err := EstablishMany(STSOptII, self, peers, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(sessions) != len(peers) {
+			t.Fatalf("workers=%d: %d sessions", workers, len(sessions))
+		}
+		for i, s := range sessions {
+			if s == nil {
+				t.Fatalf("workers=%d: session %d nil", workers, i)
+			}
+			if !s.Dynamic {
+				t.Errorf("session %d not dynamic", i)
+			}
+			msg := []byte(fmt.Sprintf("to peer %d", i))
+			ct, err := s.Seal(msg, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pt, err := s.Open(ct, nil); err != nil || string(pt) != string(msg) {
+				t.Fatalf("session %d roundtrip: %v", i, err)
+			}
+		}
+	}
+}
+
+func TestEstablishManyPartialFailure(t *testing.T) {
+	authority, err := NewAuthority(WithRand(newDetRand(45)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	devices, err := authority.EnrollBatch([]string{"gw", "ok-1", "ok-2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	peers := []*Device{devices[1], nil, devices[2]} // hole in the fleet
+	sessions, err := EstablishMany(STS, devices[0], peers, 2)
+	if err == nil {
+		t.Fatal("nil peer did not surface an error")
+	}
+	if sessions[0] == nil || sessions[2] == nil {
+		t.Error("healthy peers did not establish")
+	}
+	if sessions[1] != nil {
+		t.Error("nil peer produced a session")
+	}
+}
+
+func TestEstablishManyErrors(t *testing.T) {
+	if _, err := EstablishMany(STS, nil, nil, 0); err == nil {
+		t.Error("nil self accepted")
+	}
+	authority, _ := NewAuthority(WithRand(newDetRand(46)))
+	devices, err := authority.EnrollBatch([]string{"gw"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EstablishMany(KD(99), devices[0], nil, 0); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+	sessions, err := EstablishMany(STS, devices[0], nil, 0)
+	if err != nil || len(sessions) != 0 {
+		t.Errorf("empty fleet: %v, %d sessions", err, len(sessions))
+	}
+}

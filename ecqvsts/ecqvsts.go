@@ -11,6 +11,10 @@
 //	session, _ := ecqvsts.Establish(ecqvsts.STS, alice, bob) // stage 3
 //	ct, _ := session.Seal([]byte("battery status: ok"), nil)
 //
+// At fleet scale the same stages batch and parallelize: EnrollBatch
+// provisions many devices through one worker pool, and EstablishMany
+// drives many handshakes concurrently.
+//
 // Establish selects among the paper's key-derivation protocols. STS
 // (the paper's contribution) is the only dynamic KD: every session
 // derives an independent ephemeral key, so a later compromise of
@@ -26,6 +30,7 @@ import (
 	"time"
 
 	"repro/internal/aead"
+	"repro/internal/conc"
 	"repro/internal/core"
 	"repro/internal/ec"
 	"repro/internal/hwmodel"
@@ -156,6 +161,23 @@ func (a *Authority) Enroll(name string) (*Device, error) {
 	return &Device{party: p}, nil
 }
 
+// EnrollBatch provisions many devices concurrently: certificate
+// requests, batched ECQV issuance and private-key reconstruction fan
+// out over a worker pool sized to GOMAXPROCS, amortizing the per-curve
+// precomputation across the whole batch. Devices align with names; if
+// any enrollment fails, the per-name errors are joined into the
+// returned error and the corresponding slots are nil.
+func (a *Authority) EnrollBatch(names []string) ([]*Device, error) {
+	parties, err := a.net.ProvisionBatch(names, 0)
+	devices := make([]*Device, len(parties))
+	for i, p := range parties {
+		if p != nil {
+			devices[i] = &Device{party: p}
+		}
+	}
+	return devices, err
+}
+
 // EnrollPair provisions two devices and installs the pairwise
 // pre-shared key required by the PORAMB baseline.
 func (a *Authority) EnrollPair(nameA, nameB string) (*Device, *Device, error) {
@@ -218,6 +240,33 @@ func Establish(kd KD, a, b *Device) (*Session, error) {
 		macKey:  key[kdf.SessionKeySize:],
 		scheme:  aead.Default,
 	}, nil
+}
+
+// EstablishMany runs the selected KD protocol from one device to many
+// peers concurrently, through a pool of at most parallelism workers
+// (GOMAXPROCS when ≤ 0) — the fleet-scale establishment path (a BMS
+// keying every EVCC it will talk to, a gateway keying its sensor
+// network). Sessions align with peers; per-peer failures are joined
+// into the returned error and leave their slot nil, so one bad peer
+// does not abort the rest of the fleet.
+func EstablishMany(kd KD, self *Device, peers []*Device, parallelism int) ([]*Session, error) {
+	if self == nil {
+		return nil, errors.New("ecqvsts: nil device")
+	}
+	if _, err := kd.protocol(); err != nil {
+		return nil, err
+	}
+	sessions := make([]*Session, len(peers))
+	errs := make([]error, len(peers))
+	conc.ForEach(len(peers), parallelism, func(i int) {
+		s, err := Establish(kd, self, peers[i])
+		if err != nil {
+			errs[i] = fmt.Errorf("ecqvsts: peer %d: %w", i, err)
+			return
+		}
+		sessions[i] = s
+	})
+	return sessions, errors.Join(errs...)
 }
 
 // Seal encrypts and authenticates application data under the session

@@ -1,18 +1,24 @@
 // Vehicle group keying: a gateway ECU keys a group of in-vehicle
 // controllers (the Püllen et al. direction surveyed in the paper's
 // related work) using pairwise STS-ECQV sessions for key distribution.
-// Demonstrates epoch rekeying on membership change: an evicted ECU
+// The gateway brings the whole fleet online concurrently —
+// batch-provisioned certificates, then fleet.Manager.EstablishAll
+// driving every pairwise STS handshake through a worker pool — and
+// demonstrates epoch rekeying on membership change: an evicted ECU
 // cannot read post-eviction traffic.
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log"
 
 	"repro/internal/core"
 	"repro/internal/ec"
 	"repro/internal/ecqv"
+	"repro/internal/fleet"
 	"repro/internal/group"
+	"repro/internal/session"
 )
 
 func main() {
@@ -22,24 +28,47 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	gatewayParty, err := net.Provision("gateway")
+
+	// Provision the gateway and every ECU in one batch: certificate
+	// requests, ECQV issuance and key reconstruction fan out over a
+	// worker pool.
+	names := []string{"gateway", "bms", "evcc", "dashboard"}
+	parties, err := net.ProvisionBatch(names, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
+	gatewayParty, ecus := parties[0], parties[1:]
+
+	// Establish pairwise record sessions to the whole fleet
+	// concurrently; each ECU gets its own STS handshake, no two of
+	// which contend on the sharded manager.
+	mgr, err := fleet.NewManager(gatewayParty, core.OptII, session.DefaultPolicy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := errors.Join(mgr.EstablishAll(ecus, 0)...); err != nil {
+		log.Fatalf("fleet establishment failed: %v", err)
+	}
+	for _, ecu := range ecus {
+		rec, err := mgr.Seal(ecu.ID, []byte("pre-admission ping"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := mgr.Open(ecu.ID, rec); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("fleet online: %d pairwise sessions established concurrently\n\n", len(mgr.Peers()))
+
 	leader, err := group.NewLeader(gatewayParty, core.OptII)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// Admit three ECUs; each admission runs a pairwise STS handshake
-	// and rotates the group epoch.
-	names := []string{"bms", "evcc", "dashboard"}
+	// Admit the three ECUs; each admission runs a pairwise STS
+	// handshake and rotates the group epoch.
 	members := map[ecqv.ID]*group.Member{}
-	for _, name := range names {
-		p, err := net.Provision(name)
-		if err != nil {
-			log.Fatal(err)
-		}
+	for _, p := range ecus {
 		dist, err := leader.Add(p)
 		if err != nil {
 			log.Fatal(err)
@@ -60,7 +89,7 @@ func main() {
 				}
 			}
 		}
-		fmt.Printf("admitted %-10s -> group epoch %d, %d members\n", name, leader.Epoch(), leader.Size())
+		fmt.Printf("admitted %-10s -> group epoch %d, %d members\n", p.ID, leader.Epoch(), leader.Size())
 	}
 
 	// Broadcast under the group key.

@@ -1,0 +1,48 @@
+// Package conc provides the bounded-parallelism fan-out primitive
+// shared by the batch and fleet paths (certificate issuance, device
+// provisioning, session establishment).
+package conc
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ForEach runs fn(i) for every i in [0, n) through a pool of at most
+// parallelism workers (GOMAXPROCS when ≤ 0) and returns once all
+// calls complete. fn reports failures itself, typically into an
+// index-aligned error slice, so one bad element never aborts the
+// rest of the batch.
+func ForEach(n, parallelism int, fn func(int)) {
+	if n <= 0 {
+		return
+	}
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > n {
+		parallelism = n
+	}
+	if parallelism == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(parallelism)
+	for w := 0; w < parallelism; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+}

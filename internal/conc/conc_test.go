@@ -1,0 +1,47 @@
+package conc
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, parallelism := range []int{-1, 0, 1, 3, 100} {
+		const n = 50
+		var hits [n]atomic.Int32
+		ForEach(n, parallelism, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("parallelism=%d: index %d hit %d times", parallelism, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	called := false
+	ForEach(0, 4, func(int) { called = true })
+	ForEach(-3, 4, func(int) { called = true })
+	if called {
+		t.Fatal("fn called for empty range")
+	}
+}
+
+func TestForEachBoundsWorkers(t *testing.T) {
+	var live, peak atomic.Int32
+	ForEach(64, 4, func(int) {
+		n := live.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		runtime.Gosched()
+		live.Add(-1)
+	})
+	if p := peak.Load(); p > 4 {
+		t.Fatalf("observed %d concurrent calls, want ≤ 4", p)
+	}
+}

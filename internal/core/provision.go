@@ -2,13 +2,40 @@ package core
 
 import (
 	"crypto/rand"
+	"errors"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
+	"repro/internal/conc"
 	"repro/internal/ec"
 	"repro/internal/ecqv"
 )
+
+// lockedReader serializes reads of an injected randomness source.
+// Deterministic test readers are not safe for concurrent draws; wrapping
+// them once at network construction makes every downstream consumer
+// (provisioning, handshake ephemerals via Party.Rand) concurrency-safe.
+type lockedReader struct {
+	mu sync.Mutex
+	r  io.Reader
+}
+
+func (l *lockedReader) Read(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.r.Read(p)
+}
+
+// lockReader wraps a non-nil reader; nil stays nil (crypto/rand is
+// already safe for concurrent use).
+func lockReader(r io.Reader) io.Reader {
+	if r == nil {
+		return nil
+	}
+	return &lockedReader{r: r}
+}
 
 // Network models the centralized implicit-certificate architecture of
 // the paper's Figure 1: a central authority that authenticates devices
@@ -27,8 +54,10 @@ type Network struct {
 }
 
 // NewNetwork creates the central authority. A nil rng selects
-// crypto/rand.
+// crypto/rand; an injected rng is wrapped so concurrent provisioning
+// and handshakes never race on it.
 func NewNetwork(curve *ec.Curve, rng io.Reader) (*Network, error) {
+	rng = lockReader(rng)
 	ca, err := ecqv.NewCA(curve, ecqv.NewID("central-authority"), rng)
 	if err != nil {
 		return nil, fmt.Errorf("core: network CA: %w", err)
@@ -71,6 +100,73 @@ func (n *Network) Provision(name string) (*Party, error) {
 		CAPub: n.CA.PublicKey(),
 		Rand:  n.rand,
 	}, nil
+}
+
+// ProvisionBatch runs the certificate-derivation stage for many
+// devices at once, fanning each phase over a pool of at most
+// parallelism workers (GOMAXPROCS when ≤ 0): request generation,
+// batched CA issuance via ecqv.CA.IssueBatch (which warms the
+// per-curve base-point table once for the whole batch) and
+// private-key reconstruction. Parties align with names; per-device
+// failures are joined into the returned error while the rest of the
+// batch still completes.
+func (n *Network) ProvisionBatch(names []string, parallelism int) ([]*Party, error) {
+	reqs := make([]ecqv.Request, len(names))
+	secs := make([]*ecqv.RequestSecret, len(names))
+	errs := make([]error, len(names))
+	conc.ForEach(len(names), parallelism, func(i int) {
+		var err error
+		reqs[i], secs[i], err = ecqv.NewRequest(n.Curve, ecqv.NewID(names[i]), n.rand)
+		if err != nil {
+			errs[i] = fmt.Errorf("core: provision %s: %w", names[i], err)
+		}
+	})
+
+	// Only requests that generated cleanly go to the CA, so a
+	// request-phase failure is reported exactly once.
+	valid := make([]int, 0, len(names))
+	for i := range names {
+		if errs[i] == nil {
+			valid = append(valid, i)
+		}
+	}
+	validReqs := make([]ecqv.Request, len(valid))
+	for j, i := range valid {
+		validReqs[j] = reqs[i]
+	}
+	validResps, issueErr := n.CA.IssueBatch(validReqs, ecqv.IssueParams{
+		ValidFrom: n.notBefore,
+		ValidTo:   n.notBefore.Add(n.certValidity),
+		KeyUsage:  ecqv.UsageKeyAgreement | ecqv.UsageSignature,
+	}, parallelism)
+	resps := make([]*ecqv.Response, len(names))
+	for j, i := range valid {
+		resps[i] = validResps[j]
+	}
+
+	out := make([]*Party, len(names))
+	conc.ForEach(len(names), parallelism, func(i int) {
+		if errs[i] != nil {
+			return
+		}
+		if resps[i] == nil {
+			return // issuance failure already reported by issueErr
+		}
+		priv, _, err := ecqv.ReconstructPrivateKey(secs[i], resps[i], n.CA.PublicKey())
+		if err != nil {
+			errs[i] = fmt.Errorf("core: reconstruct %s: %w", names[i], err)
+			return
+		}
+		out[i] = &Party{
+			ID:    resps[i].Cert.SubjectID,
+			Curve: n.Curve,
+			Cert:  resps[i].Cert,
+			Priv:  priv,
+			CAPub: n.CA.PublicKey(),
+			Rand:  n.rand,
+		}
+	})
+	return out, errors.Join(append(errs, issueErr)...)
 }
 
 // Pair provisions two devices and installs the pairwise pre-shared

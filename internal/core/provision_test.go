@@ -1,0 +1,59 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/ec"
+)
+
+func TestProvisionBatch(t *testing.T) {
+	net, err := NewNetwork(ec.P256(), newDetRand(51))
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, 20)
+	for i := range names {
+		names[i] = fmt.Sprintf("ecu-%02d", i)
+	}
+	parties, err := net.ProvisionBatch(names, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parties) != len(names) {
+		t.Fatalf("%d parties", len(parties))
+	}
+	serials := map[uint64]bool{}
+	for i, p := range parties {
+		if p == nil {
+			t.Fatalf("party %d nil", i)
+		}
+		if p.ID.String() != names[i] {
+			t.Errorf("party %d: ID %s, want %s", i, p.ID, names[i])
+		}
+		if serials[p.Cert.Serial] {
+			t.Errorf("serial %d reused", p.Cert.Serial)
+		}
+		serials[p.Cert.Serial] = true
+	}
+
+	// Batch-provisioned parties run the paper's protocols normally.
+	res, err := NewSTS(OptNone).Run(parties[0], parties[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.SessionKey(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProvisionBatchEmpty(t *testing.T) {
+	net, err := NewNetwork(ec.P256(), newDetRand(52))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parties, err := net.ProvisionBatch(nil, 0)
+	if err != nil || len(parties) != 0 {
+		t.Fatalf("empty batch: %v, %d parties", err, len(parties))
+	}
+}

@@ -1,0 +1,93 @@
+package ecqv
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/ec"
+)
+
+func TestIssueBatch(t *testing.T) {
+	curve := ec.P256()
+	rng := newDetRand(71)
+	ca, err := NewCA(curve, NewID("batch-ca"), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 32
+	reqs := make([]Request, n)
+	secs := make([]*RequestSecret, n)
+	for i := range reqs {
+		reqs[i], secs[i], err = NewRequest(curve, NewID(fmt.Sprintf("dev-%02d", i)), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	resps, err := ca.IssueBatch(reqs, defaultParams(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resps) != n {
+		t.Fatalf("%d responses", len(resps))
+	}
+	serials := map[uint64]bool{}
+	for i, resp := range resps {
+		if resp == nil {
+			t.Fatalf("response %d nil", i)
+		}
+		if resp.Cert.SubjectID != reqs[i].SubjectID {
+			t.Errorf("response %d: subject %s, want %s", i, resp.Cert.SubjectID, reqs[i].SubjectID)
+		}
+		if serials[resp.Cert.Serial] {
+			t.Errorf("serial %d reused", resp.Cert.Serial)
+		}
+		serials[resp.Cert.Serial] = true
+		// Every subject must reconstruct a key consistent with what
+		// relying parties extract — the full SEC 4 consistency check.
+		if _, _, err := ReconstructPrivateKey(secs[i], resp, ca.PublicKey()); err != nil {
+			t.Errorf("response %d: %v", i, err)
+		}
+	}
+	if got := ca.NextSerial(); got != 1+n {
+		t.Errorf("next serial %d, want %d", got, 1+n)
+	}
+}
+
+func TestIssueBatchPartialFailure(t *testing.T) {
+	curve := ec.P256()
+	rng := newDetRand(72)
+	ca, err := NewCA(curve, NewID("batch-ca"), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, sec, err := NewRequest(curve, NewID("good"), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := Request{SubjectID: NewID("bad")} // point at infinity
+	resps, err := ca.IssueBatch([]Request{good, bad}, defaultParams(), 2)
+	if err == nil {
+		t.Fatal("invalid request did not surface an error")
+	}
+	if resps[1] != nil {
+		t.Error("invalid request issued")
+	}
+	if resps[0] == nil {
+		t.Fatal("valid request dropped")
+	}
+	if _, _, err := ReconstructPrivateKey(sec, resps[0], ca.PublicKey()); err != nil {
+		t.Errorf("valid response: %v", err)
+	}
+}
+
+func TestIssueBatchEmpty(t *testing.T) {
+	ca, err := NewCA(ec.P256(), NewID("batch-ca"), newDetRand(73))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resps, err := ca.IssueBatch(nil, defaultParams(), 4)
+	if err != nil || len(resps) != 0 {
+		t.Fatalf("empty batch: %v, %d responses", err, len(resps))
+	}
+}

@@ -26,8 +26,10 @@ import (
 	"fmt"
 	"io"
 	"math/big"
+	"sync"
 	"time"
 
+	"repro/internal/conc"
 	"repro/internal/ec"
 )
 
@@ -98,7 +100,10 @@ type Response struct {
 	R    *big.Int
 }
 
-// CA is an ECQV certificate authority.
+// CA is an ECQV certificate authority. Issuance is safe for
+// concurrent use: the randomness source and the serial counter are the
+// only mutable state, and both are guarded internally, so any number
+// of Issue calls (or one IssueBatch) may run in parallel.
 type CA struct {
 	Curve *ec.Curve
 	ID    ID
@@ -106,6 +111,9 @@ type CA struct {
 	pub   ec.Point
 	rand  io.Reader
 
+	// mu guards the randomness source (deterministic test readers are
+	// not concurrency-safe) and serial allocation.
+	mu         sync.Mutex
 	nextSerial uint64
 }
 
@@ -140,7 +148,40 @@ func NewCAFromKey(curve *ec.Curve, id ID, priv *big.Int, nextSerial uint64, rng 
 func (ca *CA) PrivateKey() *big.Int { return new(big.Int).Set(ca.priv) }
 
 // NextSerial returns the serial number the next issuance will use.
-func (ca *CA) NextSerial() uint64 { return ca.nextSerial }
+func (ca *CA) NextSerial() uint64 {
+	ca.mu.Lock()
+	defer ca.mu.Unlock()
+	return ca.nextSerial
+}
+
+// randomScalar draws an issuance nonce under the CA lock, so
+// concurrent issuances never race on the randomness source.
+func (ca *CA) randomScalar() (*big.Int, error) {
+	ca.mu.Lock()
+	defer ca.mu.Unlock()
+	return ca.Curve.RandomScalar(ca.rand)
+}
+
+// takeSerial allocates the next certificate serial.
+func (ca *CA) takeSerial() uint64 {
+	ca.mu.Lock()
+	defer ca.mu.Unlock()
+	s := ca.nextSerial
+	ca.nextSerial++
+	return s
+}
+
+// returnSerial hands an unused serial back after a failed issuance.
+// Best effort: it only rolls back while no later serial has been
+// allocated, so concurrent issuance can still leave gaps (which is
+// harmless — serials need only be unique).
+func (ca *CA) returnSerial(s uint64) {
+	ca.mu.Lock()
+	defer ca.mu.Unlock()
+	if ca.nextSerial == s+1 {
+		ca.nextSerial = s
+	}
+}
 
 // PublicKey returns the CA public key Q_CA that every relying party
 // must hold to reconstruct subject keys.
@@ -173,9 +214,11 @@ func (ca *CA) Issue(req Request, params IssueParams) (*Response, error) {
 		return nil, errors.New("ecqv: certificate validity window is empty")
 	}
 
+	serial := ca.takeSerial()
 	for attempt := 0; attempt < 64; attempt++ {
-		k, err := ca.Curve.RandomScalar(ca.rand)
+		k, err := ca.randomScalar()
 		if err != nil {
+			ca.returnSerial(serial)
 			return nil, fmt.Errorf("ecqv: issuance nonce: %w", err)
 		}
 		pu := ca.Curve.Add(req.R, ca.Curve.ScalarBaseMult(k))
@@ -185,7 +228,7 @@ func (ca *CA) Issue(req Request, params IssueParams) (*Response, error) {
 		cert := &Certificate{
 			Curve:     ca.Curve,
 			Version:   CertVersion,
-			Serial:    ca.nextSerial,
+			Serial:    serial,
 			SubjectID: req.SubjectID,
 			IssuerID:  ca.ID,
 			ValidFrom: params.ValidFrom.Unix(),
@@ -201,10 +244,33 @@ func (ca *CA) Issue(req Request, params IssueParams) (*Response, error) {
 		r.Add(r, ca.priv)
 		r.Mod(r, ca.Curve.N)
 
-		ca.nextSerial++
 		return &Response{Cert: cert, R: r}, nil
 	}
+	ca.returnSerial(serial)
 	return nil, errors.New("ecqv: issuance did not converge")
+}
+
+// IssueBatch amortizes issuance over many requests: the per-curve
+// base-point table is warmed once up front (so workers share the
+// cached precomputation instead of serializing on its lazy build), and
+// the heavy point arithmetic fans out over a pool of at most
+// parallelism workers (GOMAXPROCS when ≤ 0). Responses align with
+// reqs; per-request failures are joined into the returned error while
+// the remaining requests still complete.
+func (ca *CA) IssueBatch(reqs []Request, params IssueParams, parallelism int) ([]*Response, error) {
+	ca.Curve.ScalarBaseMult(big.NewInt(1)) // warm the shared base table
+
+	out := make([]*Response, len(reqs))
+	errs := make([]error, len(reqs))
+	conc.ForEach(len(reqs), parallelism, func(i int) {
+		resp, err := ca.Issue(reqs[i], params)
+		if err != nil {
+			errs[i] = fmt.Errorf("ecqv: batch request %d (%s): %w", i, reqs[i].SubjectID, err)
+			return
+		}
+		out[i] = resp
+	})
+	return out, errors.Join(errs...)
 }
 
 // HashToScalar computes e = H_n(Cert) over the certificate's canonical

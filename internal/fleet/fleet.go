@@ -4,6 +4,14 @@
 // the operational loop behind the paper's motivation that keys must
 // rotate with communication sessions rather than certificate sessions.
 //
+// The Manager is built for fleet-scale concurrency. The peer table is
+// lock-striped into fixed shards keyed by a hash of the peer identity,
+// and each peer additionally carries its own session lock, so
+// handshakes, Seal and Open on different peers never contend; only
+// operations on the same peer serialize. EstablishAll drives many STS
+// handshakes through a bounded worker pool, which is how a gateway
+// brings a whole fleet online (or re-keys it) in parallel.
+//
 // The Manager drives both handshake state machines in-process, which
 // matches the library's simulation scope; a deployment would transport
 // the same engine messages over its network stack (see
@@ -14,11 +22,39 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
+	"repro/internal/conc"
 	"repro/internal/core"
 	"repro/internal/ecqv"
 	"repro/internal/session"
 )
+
+// numShards stripes the peer table. A power of two keeps the shard
+// selection a mask; 16 shards is ample for the goroutine counts a
+// single gateway device realistically runs.
+const numShards = 16
+
+// shardIndex maps a peer identity onto its stripe (FNV-1a).
+func shardIndex(id ecqv.ID) int {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for _, b := range id {
+		h ^= uint32(b)
+		h *= prime32
+	}
+	return int(h & (numShards - 1))
+}
+
+// shard is one stripe of the peer table. Its lock guards only the map;
+// session state is guarded per peer.
+type shard struct {
+	mu    sync.RWMutex
+	peers map[ecqv.ID]*peerState
+}
 
 // Manager maintains sessions from a local device to many peers.
 type Manager struct {
@@ -26,9 +62,11 @@ type Manager struct {
 	opt    core.STSOptimization
 	policy session.Policy
 
-	mu    sync.Mutex
-	peers map[ecqv.ID]*peerState
-	stats Stats
+	shards [numShards]shard
+
+	handshakes atomic.Uint64
+	rekeys     atomic.Uint64
+	records    atomic.Uint64
 }
 
 // Stats counts manager activity.
@@ -39,10 +77,19 @@ type Stats struct {
 }
 
 type peerState struct {
+	// mu serializes session operations on this one peer: channel use,
+	// explicit reconnects and the transparent rekey handshake.
+	// Different peers hold different locks, so fleet-wide traffic and
+	// handshakes proceed in parallel.
+	mu    sync.Mutex
 	party *core.Party
-	// send/recv are this side's channels; peerSend/peerRecv the
-	// remote side's (returned to the caller holding the peer).
+	// send/recv are this side's channels; recv is the remote side's
+	// view (returned to the caller holding the peer).
 	send, recv *session.Channel
+
+	// established flips once the first handshake completes, letting
+	// Peers enumerate live sessions without taking session locks.
+	established atomic.Bool
 }
 
 // NewManager creates a session manager for the local device.
@@ -50,18 +97,39 @@ func NewManager(self *core.Party, opt core.STSOptimization, policy session.Polic
 	if self == nil || self.Cert == nil {
 		return nil, errors.New("fleet: local device not provisioned")
 	}
-	return &Manager{self: self, opt: opt, policy: policy, peers: map[ecqv.ID]*peerState{}}, nil
+	m := &Manager{self: self, opt: opt, policy: policy}
+	for i := range m.shards {
+		m.shards[i].peers = map[ecqv.ID]*peerState{}
+	}
+	return m, nil
+}
+
+// peerEntry returns the peer's state, creating it when create is set.
+func (m *Manager) peerEntry(id ecqv.ID, create bool) *peerState {
+	sh := &m.shards[shardIndex(id)]
+	if !create {
+		sh.mu.RLock()
+		ps := sh.peers[id]
+		sh.mu.RUnlock()
+		return ps
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ps, ok := sh.peers[id]
+	if !ok {
+		ps = &peerState{}
+		sh.peers[id] = ps
+	}
+	return ps
 }
 
 // Connect establishes (or replaces) the session to a peer by running a
-// full STS handshake through the message-driven engine.
+// full STS handshake through the message-driven engine. A failed
+// Connect leaves the manager untouched: no peer entry is created and
+// an existing session keeps its previous party and keys. Concurrent
+// Connects to different peers run in parallel; to the same peer each
+// runs its own handshake and the last to finish wins.
 func (m *Manager) Connect(peer *core.Party) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.connectLocked(peer)
-}
-
-func (m *Manager) connectLocked(peer *core.Party) error {
 	if peer == nil || peer.Cert == nil {
 		return errors.New("fleet: peer not provisioned")
 	}
@@ -73,14 +141,156 @@ func (m *Manager) connectLocked(peer *core.Party) error {
 	if err != nil {
 		return err
 	}
-	m.peers[peer.ID] = &peerState{party: peer, send: send, recv: recv}
-	m.stats.Handshakes++
+	ps := m.peerEntry(peer.ID, true)
+	ps.mu.Lock()
+	ps.party, ps.send, ps.recv = peer, send, recv
+	ps.established.Store(true)
+	ps.mu.Unlock()
+	m.handshakes.Add(1)
 	return nil
 }
 
+// establishLocked re-keys a live session whose per-peer lock is held —
+// the transparent rekey path under Seal.
+func (m *Manager) establishLocked(ps *peerState) error {
+	keyBlock, err := m.handshake(ps.party)
+	if err != nil {
+		return err
+	}
+	send, recv, err := session.NewPair(keyBlock, m.policy)
+	if err != nil {
+		return err
+	}
+	ps.send, ps.recv = send, recv
+	m.handshakes.Add(1)
+	return nil
+}
+
+// EstablishAll connects every listed peer through a pool of at most
+// parallelism workers (GOMAXPROCS when ≤ 0). The returned slice
+// aligns with peers — errs[i] is nil when peers[i] established — so
+// callers can retry exactly the failures; errors.Join(errs...) gives
+// the aggregate. Peers already connected are re-keyed, matching
+// Connect semantics.
+func (m *Manager) EstablishAll(peers []*core.Party, parallelism int) []error {
+	errs := make([]error, len(peers))
+	conc.ForEach(len(peers), parallelism, func(i int) {
+		if err := m.Connect(peers[i]); err != nil {
+			errs[i] = fmt.Errorf("fleet: peer %d: %w", i, err)
+		}
+	})
+	return errs
+}
+
+// ErrUnknownPeer is returned for peers without a session.
+var ErrUnknownPeer = errors.New("fleet: no session with peer")
+
+// Seal protects a payload for a peer, transparently re-keying (a fresh
+// STS handshake) when the session policy has expired. Only the target
+// peer's session lock is held, so traffic to other peers is unaffected
+// even while the rekey handshake runs.
+func (m *Manager) Seal(peerID ecqv.ID, payload []byte) ([]byte, error) {
+	ps := m.peerEntry(peerID, false)
+	if ps == nil {
+		return nil, ErrUnknownPeer
+	}
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if ps.send == nil {
+		return nil, ErrUnknownPeer
+	}
+	rec, err := ps.send.Seal(payload)
+	if errors.Is(err, session.ErrRekeyRequired) {
+		if err := m.establishLocked(ps); err != nil {
+			return nil, fmt.Errorf("fleet: rekey: %w", err)
+		}
+		m.rekeys.Add(1)
+		rec, err = ps.send.Seal(payload)
+	}
+	if err != nil {
+		return nil, err
+	}
+	m.records.Add(1)
+	return rec, nil
+}
+
+// Open verifies and decrypts a record on the peer's receive channel —
+// the remote side's view in this in-process simulation. It holds the
+// same per-peer lock as Seal, so a transparent rekey never swaps the
+// channel mid-open.
+func (m *Manager) Open(peerID ecqv.ID, record []byte) ([]byte, error) {
+	ps := m.peerEntry(peerID, false)
+	if ps == nil {
+		return nil, ErrUnknownPeer
+	}
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if ps.recv == nil {
+		return nil, ErrUnknownPeer
+	}
+	return ps.recv.Open(record)
+}
+
+// PeerChannel returns the remote side's receive channel for a peer —
+// in this in-process simulation, the handle "the other device" would
+// hold. Records sealed by Seal open on it. The channel itself is not
+// safe for use concurrent with a rekey of the same peer; prefer Open
+// under concurrency.
+func (m *Manager) PeerChannel(peerID ecqv.ID) (*session.Channel, error) {
+	ps := m.peerEntry(peerID, false)
+	if ps == nil {
+		return nil, ErrUnknownPeer
+	}
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if ps.recv == nil {
+		return nil, ErrUnknownPeer
+	}
+	return ps.recv, nil
+}
+
+// Disconnect drops the session to a peer. Operations racing with the
+// disconnect complete either on the old session or not at all.
+func (m *Manager) Disconnect(peerID ecqv.ID) {
+	sh := &m.shards[shardIndex(peerID)]
+	sh.mu.Lock()
+	delete(sh.peers, peerID)
+	sh.mu.Unlock()
+}
+
+// Peers returns the identities with live sessions.
+func (m *Manager) Peers() []ecqv.ID {
+	var out []ecqv.ID
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.RLock()
+		for id, ps := range sh.peers {
+			if ps.established.Load() {
+				out = append(out, id)
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return out
+}
+
+// Stats returns a snapshot of the counters.
+func (m *Manager) Stats() Stats {
+	return Stats{
+		Handshakes: int(m.handshakes.Load()),
+		Rekeys:     int(m.rekeys.Load()),
+		Records:    int(m.records.Load()),
+	}
+}
+
 // handshake drives initiator (self) and responder (peer) to
-// completion and returns the shared key block.
+// completion and returns the shared key block. It touches no Manager
+// state, so any number of handshakes to distinct peers run in
+// parallel.
 func (m *Manager) handshake(peer *core.Party) ([]byte, error) {
+	if peer == nil || peer.Cert == nil {
+		return nil, errors.New("fleet: peer not provisioned")
+	}
 	init, err := core.NewInitiator(m.self, m.opt)
 	if err != nil {
 		return nil, err
@@ -124,69 +334,4 @@ func (m *Manager) handshake(peer *core.Party) ([]byte, error) {
 		}
 	}
 	return keyA, nil
-}
-
-// ErrUnknownPeer is returned for peers without a session.
-var ErrUnknownPeer = errors.New("fleet: no session with peer")
-
-// Seal protects a payload for a peer, transparently re-keying (a fresh
-// STS handshake) when the session policy has expired.
-func (m *Manager) Seal(peerID ecqv.ID, payload []byte) ([]byte, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	ps, ok := m.peers[peerID]
-	if !ok {
-		return nil, ErrUnknownPeer
-	}
-	rec, err := ps.send.Seal(payload)
-	if errors.Is(err, session.ErrRekeyRequired) {
-		if err := m.connectLocked(ps.party); err != nil {
-			return nil, fmt.Errorf("fleet: rekey: %w", err)
-		}
-		m.stats.Rekeys++
-		rec, err = m.peers[peerID].send.Seal(payload)
-	}
-	if err != nil {
-		return nil, err
-	}
-	m.stats.Records++
-	return rec, nil
-}
-
-// PeerChannel returns the remote side's receive channel for a peer —
-// in this in-process simulation, the handle "the other device" would
-// hold. Records sealed by Seal open on it.
-func (m *Manager) PeerChannel(peerID ecqv.ID) (*session.Channel, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	ps, ok := m.peers[peerID]
-	if !ok {
-		return nil, ErrUnknownPeer
-	}
-	return ps.recv, nil
-}
-
-// Disconnect drops the session to a peer.
-func (m *Manager) Disconnect(peerID ecqv.ID) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	delete(m.peers, peerID)
-}
-
-// Peers returns the identities with live sessions.
-func (m *Manager) Peers() []ecqv.ID {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make([]ecqv.ID, 0, len(m.peers))
-	for id := range m.peers {
-		out = append(out, id)
-	}
-	return out
-}
-
-// Stats returns a snapshot of the counters.
-func (m *Manager) Stats() Stats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.stats
 }

@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -152,6 +153,45 @@ func TestManagerErrors(t *testing.T) {
 	m.Disconnect(parties[1].ID)
 	if _, err := m.Seal(parties[1].ID, []byte("x")); err == nil {
 		t.Error("disconnected peer still usable")
+	}
+}
+
+func TestManagerFailedConnectLeavesNoState(t *testing.T) {
+	parties := provision(t, 5, "gw", "peer")
+	m, _ := NewManager(parties[0], core.OptNone, session.DefaultPolicy)
+
+	// A peer enrolled under a different CA fails the handshake; the
+	// failure must not create a peer entry.
+	foreign := provision(t, 6, "gw2", "intruder")[1]
+	if err := m.Connect(foreign); err == nil {
+		t.Fatal("foreign-CA peer connected")
+	}
+	if n := len(m.Peers()); n != 0 {
+		t.Fatalf("%d peers after failed connect", n)
+	}
+	if _, err := m.Seal(foreign.ID, []byte("x")); !errors.Is(err, ErrUnknownPeer) {
+		t.Errorf("failed connect left a usable entry: %v", err)
+	}
+
+	// A failed re-Connect must leave the existing session fully
+	// intact: same keys, same party.
+	if err := m.Connect(parties[1]); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := m.Seal(parties[1].ID, []byte("before"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Impostor with the real peer's identity but a foreign CA's
+	// credentials: fails inside the handshake, after validation.
+	imp := *foreign
+	imp.ID = parties[1].ID
+	if err := m.Connect(&imp); err == nil {
+		t.Fatal("foreign-CA reconnect accepted")
+	}
+	got, err := m.Open(parties[1].ID, rec)
+	if err != nil || !bytes.Equal(got, []byte("before")) {
+		t.Fatalf("failed reconnect disturbed the session: %q, %v", got, err)
 	}
 }
 
