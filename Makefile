@@ -1,6 +1,16 @@
 GO ?= go
 
-.PHONY: build test race bench bench-smoke fmt fmt-check vet
+# bench-compare pipes go test through tee; pipefail makes the recipe
+# fail when the test run fails rather than when tee does.
+SHELL := /bin/bash
+.SHELLFLAGS := -o pipefail -c
+
+# Benchmarks compared by bench-compare: the EC hot-path suites whose
+# trajectory BENCH_ec_backend.json records.
+BENCH_COMPARE ?= BenchmarkScalarMultAblation|BenchmarkFig3_STSOperations|BenchmarkLiveHandshake
+BENCH_COUNT ?= 5
+
+.PHONY: build test race test-purebig bench bench-smoke bench-compare bench-alloc fmt fmt-check vet
 
 build:
 	$(GO) build ./...
@@ -11,6 +21,11 @@ test:
 race:
 	$(GO) test -race ./...
 
+# The math/big oracle backend — the differential reference for the
+# fixed-limb fp backend — must stay green (used by CI).
+test-purebig:
+	$(GO) test -tags ec_purebig ./internal/ec/...
+
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem ./...
 
@@ -18,6 +33,25 @@ bench:
 # benches without paying for full measurement runs (used by CI).
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+# Old-vs-new EC backend comparison: the same hot-path benchmarks under
+# the math/big oracle (-tags ec_purebig) and the fixed-limb Montgomery
+# default, summarized by benchstat when installed.
+bench-compare:
+	$(GO) test -run='^$$' -bench='$(BENCH_COMPARE)' -benchmem -count=$(BENCH_COUNT) -tags ec_purebig . | tee bench-purebig.txt
+	$(GO) test -run='^$$' -bench='$(BENCH_COMPARE)' -benchmem -count=$(BENCH_COUNT) . | tee bench-fp.txt
+	@if command -v benchstat >/dev/null 2>&1; then \
+		benchstat bench-purebig.txt bench-fp.txt; \
+	else \
+		echo "benchstat not installed; compare bench-purebig.txt vs bench-fp.txt by hand"; \
+	fi
+
+# Scalar-mult ablation with allocation counts plus the hard per-op
+# allocation budget on the fp backend (used by CI; fails on regression
+# into per-digit heap allocation).
+bench-alloc:
+	$(GO) test -run='^$$' -bench='BenchmarkScalarMultAblation' -benchtime=5x -benchmem .
+	$(GO) test -run='TestScalarMultAllocBudget' -v ./internal/ec/
 
 fmt:
 	gofmt -w .

@@ -76,6 +76,7 @@ func BenchmarkTable1_Protocols(b *testing.B) {
 	model, alice, bob := benchSetup(b)
 	for _, p := range core.Protocols() {
 		b.Run(p.Name(), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := p.Run(alice, bob); err != nil {
 					b.Fatal(err)
@@ -124,6 +125,7 @@ func BenchmarkFig3_STSOperations(b *testing.B) {
 	rng := &benchRand{r: rand.New(rand.NewSource(11))}
 
 	b.Run("Op1_request_XG", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			k, err := curve.RandomScalar(rng)
 			if err != nil {
@@ -134,6 +136,7 @@ func BenchmarkFig3_STSOperations(b *testing.B) {
 		b.ReportMetric(phaseMS[core.RoleA][core.PhaseOp1], "STM32F767_ms")
 	})
 	b.Run("Op2_pubkey_premaster", func(b *testing.B) {
+		b.ReportAllocs()
 		x, _ := curve.RandomScalar(rng)
 		for i := 0; i < b.N; i++ {
 			q, err := ecqv.ExtractPublicKey(bob.Cert, alice.CAPub)
@@ -145,6 +148,7 @@ func BenchmarkFig3_STSOperations(b *testing.B) {
 		b.ReportMetric(phaseMS[core.RoleA][core.PhaseOp2], "STM32F767_ms")
 	})
 	b.Run("Op3_sign_encrypt", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := signKey.Sign(msg); err != nil {
 				b.Fatal(err)
@@ -153,6 +157,7 @@ func BenchmarkFig3_STSOperations(b *testing.B) {
 		b.ReportMetric(phaseMS[core.RoleA][core.PhaseOp3], "STM32F767_ms")
 	})
 	b.Run("Op4_decrypt_verify", func(b *testing.B) {
+		b.ReportAllocs()
 		pub := &ecdsa.PublicKey{Curve: curve, Q: signKey.Q}
 		for i := 0; i < b.N; i++ {
 			if !pub.Verify(msg, sig) {
@@ -174,6 +179,7 @@ func BenchmarkFig4_TotalTimes(b *testing.B) {
 	}
 	for _, p := range core.Protocols() {
 		b.Run(p.Name(), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := p.Run(alice, bob); err != nil {
 					b.Fatal(err)
@@ -194,6 +200,7 @@ func BenchmarkTable2_Overhead(b *testing.B) {
 	_, alice, bob := benchSetup(b)
 	for _, p := range core.Protocols() {
 		b.Run(p.Name(), func(b *testing.B) {
+			b.ReportAllocs()
 			var res *core.Result
 			var err error
 			for i := 0; i < b.N; i++ {
@@ -215,6 +222,7 @@ func BenchmarkFig7_Prototype(b *testing.B) {
 	model, _, _ := benchSetup(b)
 	for _, p := range []core.Protocol{core.NewSTS(core.OptNone), core.NewSECDSA(false)} {
 		b.Run(p.Name(), func(b *testing.B) {
+			b.ReportAllocs()
 			var tl *prototype.Timeline
 			var err error
 			for i := 0; i < b.N; i++ {
@@ -275,16 +283,19 @@ func BenchmarkScalarMultAblation(b *testing.B) {
 	p := curve.Generator()
 
 	b.Run("wNAF", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			_ = curve.ScalarMult(p, k)
 		}
 	})
 	b.Run("double-and-add", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			_ = curve.ScalarMultNaive(p, k)
 		}
 	})
 	b.Run("base-table", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			_ = curve.ScalarBaseMult(k)
 		}
@@ -307,6 +318,7 @@ func BenchmarkECQVLifecycle(b *testing.B) {
 	}
 
 	b.Run("issue", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			req, _, err := ecqv.NewRequest(curve, ecqv.NewID("dev"), rng)
 			if err != nil {
@@ -318,6 +330,7 @@ func BenchmarkECQVLifecycle(b *testing.B) {
 		}
 	})
 	b.Run("reconstruct", func(b *testing.B) {
+		b.ReportAllocs()
 		req, sec, _ := ecqv.NewRequest(curve, ecqv.NewID("dev"), rng)
 		resp, err := ca.Issue(req, params)
 		if err != nil {
@@ -331,6 +344,7 @@ func BenchmarkECQVLifecycle(b *testing.B) {
 		}
 	})
 	b.Run("extract-pubkey", func(b *testing.B) {
+		b.ReportAllocs()
 		req, _, _ := ecqv.NewRequest(curve, ecqv.NewID("dev"), rng)
 		resp, err := ca.Issue(req, params)
 		if err != nil {
@@ -351,6 +365,7 @@ func BenchmarkLiveHandshake(b *testing.B) {
 	_, alice, bob := benchSetup(b)
 	for _, opt := range []core.STSOptimization{core.OptNone, core.OptII} {
 		b.Run(opt.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				init, err := core.NewInitiator(alice, opt)
 				if err != nil {
@@ -397,6 +412,7 @@ func BenchmarkSessionRecords(b *testing.B) {
 	}
 	for _, size := range []int{16, 64, 512} {
 		b.Run(fmt.Sprintf("seal-open-%dB", size), func(b *testing.B) {
+			b.ReportAllocs()
 			a, peer, err := session.NewPair(keyBlock, session.Policy{})
 			if err != nil {
 				b.Fatal(err)
@@ -430,6 +446,7 @@ func BenchmarkGroupRekey(b *testing.B) {
 	}
 	for _, size := range []int{2, 8} {
 		b.Run(fmt.Sprintf("members-%d", size), func(b *testing.B) {
+			b.ReportAllocs()
 			leader, err := group.NewLeader(leaderParty, core.OptII)
 			if err != nil {
 				b.Fatal(err)
@@ -482,6 +499,7 @@ func BenchmarkEstablishAll(b *testing.B) {
 
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
 			m, err := fleet.NewManager(gw, core.OptNone, session.DefaultPolicy)
 			if err != nil {
 				b.Fatal(err)
@@ -515,6 +533,7 @@ func BenchmarkEnrollBatch(b *testing.B) {
 	}
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := net.ProvisionBatch(names, workers); err != nil {
 					b.Fatal(err)
@@ -531,6 +550,7 @@ func BenchmarkEnrollBatch(b *testing.B) {
 // BenchmarkPrimitives prices the symmetric substrate.
 func BenchmarkPrimitives(b *testing.B) {
 	b.Run("HKDF-SessionKeys", func(b *testing.B) {
+		b.ReportAllocs()
 		pm := make([]byte, 32)
 		for i := 0; i < b.N; i++ {
 			if _, _, err := kdf.SessionKeys(pm, []byte("salt")); err != nil {
@@ -539,6 +559,7 @@ func BenchmarkPrimitives(b *testing.B) {
 		}
 	})
 	b.Run("ECDSA-sign", func(b *testing.B) {
+		b.ReportAllocs()
 		rng := &benchRand{r: rand.New(rand.NewSource(23))}
 		key, err := ecdsa.GenerateKey(ec.P256(), rng)
 		if err != nil {
@@ -553,6 +574,7 @@ func BenchmarkPrimitives(b *testing.B) {
 		}
 	})
 	b.Run("ECDSA-verify", func(b *testing.B) {
+		b.ReportAllocs()
 		rng := &benchRand{r: rand.New(rand.NewSource(29))}
 		key, err := ecdsa.GenerateKey(ec.P256(), rng)
 		if err != nil {

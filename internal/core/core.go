@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"io"
 	"math/big"
+	"sync/atomic"
 
 	"repro/internal/ec"
 	"repro/internal/ecqv"
@@ -70,6 +71,42 @@ type Party struct {
 
 	// Rand supplies ephemeral randomness; nil selects crypto/rand.
 	Rand io.Reader
+
+	// cache memoizes peer public-key extraction and verification
+	// tables across this party's handshakes; created lazily and
+	// lock-free by KeyCache, so concurrent fleet handshakes share no
+	// cross-party serialization point. Parties are passed by pointer;
+	// use Clone to derive credential variants.
+	cache atomic.Pointer[KeyCache]
+}
+
+// KeyCache returns the party's lazily created per-peer key cache.
+// Safe for concurrent use; racing initializers converge on one cache.
+func (p *Party) KeyCache() *KeyCache {
+	if kc := p.cache.Load(); kc != nil {
+		return kc
+	}
+	kc := NewKeyCache()
+	if p.cache.CompareAndSwap(nil, kc) {
+		return kc
+	}
+	return p.cache.Load()
+}
+
+// Clone returns a copy of the party's credentials with its own empty
+// key cache — the way to derive credential variants (a stripped
+// certificate, a mismatched key) for tests and attack simulations,
+// since Party itself must not be copied by value.
+func (p *Party) Clone() *Party {
+	return &Party{
+		ID:          p.ID,
+		Curve:       p.Curve,
+		Cert:        p.Cert,
+		Priv:        p.Priv,
+		CAPub:       p.CAPub,
+		PairwiseKey: p.PairwiseKey,
+		Rand:        p.Rand,
+	}
 }
 
 // Field is one named datum inside a wire message, sized exactly as the

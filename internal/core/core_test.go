@@ -214,9 +214,9 @@ func TestRunRejectsUnprovisionedParties(t *testing.T) {
 		if _, err := p.Run(nil, b); err == nil {
 			t.Errorf("%s: nil party accepted", p.Name())
 		}
-		stripped := *a
+		stripped := a.Clone()
 		stripped.Cert = nil
-		if _, err := p.Run(&stripped, b); err == nil {
+		if _, err := p.Run(stripped, b); err == nil {
 			t.Errorf("%s: missing certificate accepted", p.Name())
 		}
 	}
@@ -235,9 +235,9 @@ func TestRunRejectsUnprovisionedParties(t *testing.T) {
 	}
 
 	// PORAMB without pairwise keys.
-	noPSK := *a
+	noPSK := a.Clone()
 	noPSK.PairwiseKey = nil
-	if _, err := NewPORAMB().Run(&noPSK, b); err == nil {
+	if _, err := NewPORAMB().Run(noPSK, b); err == nil {
 		t.Error("PORAMB without pairwise key accepted")
 	}
 }
@@ -272,12 +272,12 @@ func TestImpersonationWithoutPrivateKeyFails(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	forged := *b
+	forged := b.Clone()
 	forged.Priv = evil.Priv // certificate bob, key mallory
-	if _, err := NewSTS(OptNone).Run(a, &forged); err == nil {
+	if _, err := NewSTS(OptNone).Run(a, forged); err == nil {
 		t.Error("STS accepted a certificate/key mismatch")
 	}
-	if _, err := NewSECDSA(false).Run(a, &forged); err == nil {
+	if _, err := NewSECDSA(false).Run(a, forged); err == nil {
 		t.Error("S-ECDSA accepted a certificate/key mismatch")
 	}
 }

@@ -64,7 +64,7 @@ func newEngineCommon(party *Party, role PartyRole, opt STSOptimization) (*engine
 		party: party,
 		opt:   opt,
 		trace: trace,
-		suite: newSuite(party.Curve, trace.meterFor(role), party.Rand),
+		suite: newSuite(party.Curve, trace.meterFor(role), party.Rand, party.KeyCache()),
 	}, nil
 }
 

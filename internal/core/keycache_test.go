@@ -1,0 +1,147 @@
+package core
+
+import (
+	"math/big"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/ec"
+	"repro/internal/ecqv"
+)
+
+func newTestPair(t *testing.T, seed int64) (*Network, *Party, *Party) {
+	t.Helper()
+	net, err := NewNetwork(ec.P256(), newDetRand(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b, err := net.Pair("alice", "bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net, a, b
+}
+
+func TestKeyCacheExtract(t *testing.T) {
+	_, a, b := newTestPair(t, 400)
+	kc := NewKeyCache()
+
+	want, err := ecqv.ExtractPublicKey(b.Cert, a.CAPub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		got, err := kc.ExtractPublicKey(b.Cert, a.CAPub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("cached extraction diverged on call %d", i)
+		}
+	}
+	if st := kc.Stats(); st.Misses != 1 || st.Hits != 2 {
+		t.Fatalf("stats = %+v, want 1 miss / 2 hits", st)
+	}
+
+	// A different trust anchor must not alias the cached entry.
+	otherCA := a.Curve.ScalarBaseMult(randInt(t))
+	if _, err := kc.ExtractPublicKey(b.Cert, otherCA); err != nil {
+		t.Fatal(err)
+	}
+	if st := kc.Stats(); st.Misses != 2 {
+		t.Fatalf("different CA key served from cache: %+v", st)
+	}
+}
+
+func randInt(t *testing.T) *big.Int {
+	t.Helper()
+	k, err := ec.P256().RandomScalar(newDetRand(77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestKeyCacheVerifierShared(t *testing.T) {
+	_, a, b := newTestPair(t, 401)
+	kc := NewKeyCache()
+	q, err := ecqv.ExtractPublicKey(b.Cert, a.CAPub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := kc.Verifier(a.Curve, q)
+	p2 := kc.Verifier(a.Curve, q)
+	if p1 != p2 {
+		t.Fatal("verifier not shared across lookups")
+	}
+	if !p1.Q.Equal(q) {
+		t.Fatal("verifier wraps the wrong point")
+	}
+}
+
+func TestKeyCacheConcurrent(t *testing.T) {
+	_, a, b := newTestPair(t, 402)
+	kc := NewKeyCache()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if _, err := kc.ExtractPublicKey(b.Cert, a.CAPub); err != nil {
+					t.Error(err)
+					return
+				}
+				kc.Verifier(a.Curve, a.CAPub)
+			}
+		}()
+	}
+	wg.Wait()
+	st := kc.Stats()
+	if st.Hits+st.Misses != 400 {
+		t.Fatalf("stats don't add up: %+v", st)
+	}
+}
+
+// TestPartyCacheAcrossHandshakes proves that repeated protocol runs
+// between the same parties hit the per-party cache — the fleet rekey
+// steady state — and still agree on session keys.
+func TestPartyCacheAcrossHandshakes(t *testing.T) {
+	_, a, b := newTestPair(t, 403)
+	p := NewSTS(OptII)
+	for i := 0; i < 3; i++ {
+		res, err := p.Run(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := res.SessionKey(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := a.KeyCache().Stats(); st.Hits == 0 {
+		t.Fatalf("initiator cache never hit across repeated handshakes: %+v", st)
+	}
+	if st := b.KeyCache().Stats(); st.Hits == 0 {
+		t.Fatalf("responder cache never hit across repeated handshakes: %+v", st)
+	}
+}
+
+// TestCacheDoesNotPerturbTrace proves the hardware-model input is
+// identical whether the host cache is cold or warm: the modelled
+// device always executes the full computation.
+func TestCacheDoesNotPerturbTrace(t *testing.T) {
+	p := NewSTS(OptNone)
+	_, a1, b1 := newTestPair(t, 404)
+	cold, err := p.Run(a1, b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := p.Run(a1, b1) // same parties: cache warm
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cold.Trace.Events, warm.Trace.Events) {
+		t.Fatal("trace event streams differ between cold and warm cache runs")
+	}
+}

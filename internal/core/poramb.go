@@ -60,8 +60,8 @@ func (p *PORAMB) Run(a, b *Party) (*Result, error) {
 	}
 	curve := a.Curve
 	trace := &Trace{}
-	sa := newSuite(curve, trace.meterFor(RoleA), a.Rand)
-	sb := newSuite(curve, trace.meterFor(RoleB), b.Rand)
+	sa := newSuite(curve, trace.meterFor(RoleA), a.Rand, a.KeyCache())
+	sb := newSuite(curve, trace.meterFor(RoleB), b.Rand, b.KeyCache())
 	res := &Result{Protocol: p.Name(), Trace: trace}
 
 	// --- Phase one: hello exchange (Op1).

@@ -78,8 +78,8 @@ func (p *SECDSA) Run(a, b *Party) (*Result, error) {
 	}
 	curve := a.Curve
 	trace := &Trace{}
-	sa := newSuite(curve, trace.meterFor(RoleA), a.Rand)
-	sb := newSuite(curve, trace.meterFor(RoleB), b.Rand)
+	sa := newSuite(curve, trace.meterFor(RoleA), a.Rand, a.KeyCache())
+	sb := newSuite(curve, trace.meterFor(RoleB), b.Rand, b.KeyCache())
 	res := &Result{Protocol: p.Name(), Trace: trace}
 
 	// --- A, Op1: session nonce.

@@ -26,13 +26,18 @@ type suite struct {
 	curve *ec.Curve
 	m     *meter
 	rng   io.Reader
+	// cache, when non-nil, memoizes peer key extraction and
+	// verification tables across this party's handshakes. The trace is
+	// unaffected: the meter records the primitives the modelled device
+	// would execute, cache hit or not.
+	cache *KeyCache
 }
 
-func newSuite(curve *ec.Curve, m *meter, rng io.Reader) *suite {
+func newSuite(curve *ec.Curve, m *meter, rng io.Reader, cache *KeyCache) *suite {
 	if rng == nil {
 		rng = rand.Reader
 	}
-	return &suite{curve: curve, m: m, rng: rng}
+	return &suite{curve: curve, m: m, rng: rng, cache: cache}
 }
 
 // enter switches the suite's trace phase.
@@ -67,6 +72,9 @@ func (s *suite) extractPublicKey(cert *ecqv.Certificate, caPub ec.Point) (ec.Poi
 	s.m.record(PrimECPointDecode, 1) // Decode(Cert): decompress P_U
 	s.m.record(PrimECPointMult, 1)
 	s.m.record(PrimECPointAdd, 1)
+	if s.cache != nil {
+		return s.cache.ExtractPublicKey(cert, caPub)
+	}
 	return ecqv.ExtractPublicKey(cert, caPub)
 }
 
@@ -132,7 +140,12 @@ func (s *suite) verify(q ec.Point, msg []byte, sig ecdsa.Signature) bool {
 	s.m.record(PrimHashBytes, len(msg))
 	s.m.record(PrimModInverse, 1)
 	s.m.record(PrimECCombinedMult, 1)
-	pub := &ecdsa.PublicKey{Curve: s.curve, Q: q}
+	var pub *ecdsa.PublicKey
+	if s.cache != nil {
+		pub = s.cache.Verifier(s.curve, q) // precomputed odd-multiples table
+	} else {
+		pub = &ecdsa.PublicKey{Curve: s.curve, Q: q}
+	}
 	return pub.Verify(msg, sig)
 }
 

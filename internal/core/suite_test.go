@@ -10,7 +10,7 @@ import (
 // newTestSuite builds a suite with a fresh trace for white-box tests.
 func newTestSuite(seed int64) (*suite, *Trace) {
 	trace := &Trace{}
-	return newSuite(ec.P256(), trace.meterFor(RoleA), newDetRand(seed)), trace
+	return newSuite(ec.P256(), trace.meterFor(RoleA), newDetRand(seed), nil), trace
 }
 
 func TestSealRespInvolution(t *testing.T) {

@@ -1,0 +1,532 @@
+package ec
+
+import (
+	"encoding/binary"
+	"math/big"
+
+	"repro/internal/ec/fp"
+)
+
+// Limb-based point arithmetic — the default backend of the EC hot
+// path. Points are held as Jacobian triples of Montgomery-form
+// fp.Elements and every group operation works in place with
+// caller-provided scratch, so the wNAF/comb loops of scalar
+// multiplication perform O(1) heap allocations regardless of scalar
+// size. Conversion to big.Int affine coordinates happens only at the
+// public API boundary.
+//
+// The math/big implementation in jacobian.go is retained verbatim as a
+// differential oracle and as a build-selectable fallback
+// (-tags ec_purebig); see backend_select.go.
+
+// fpJac is a Jacobian point (X : Y : Z) over fp elements, x = X/Z²,
+// y = Y/Z³. Z = 0 encodes the point at infinity.
+type fpJac struct {
+	x, y, z fp.Element
+}
+
+// fpAffine is an affine point over fp elements, used for precomputed
+// tables (mixed addition). Tables never contain the point at infinity:
+// on cofactor-1 curves every finite multiple of a finite point is
+// finite.
+type fpAffine struct {
+	x, y fp.Element
+}
+
+// fpScratch is the caller-provided temporary store for the in-place
+// group operations. One scratch serves an entire scalar-multiplication
+// loop; it carries no state between calls.
+type fpScratch struct {
+	t [12]fp.Element
+}
+
+func (c *Curve) fpSetInfinity(p *fpJac) {
+	p.x = c.fpF.One()
+	p.y = c.fpF.One()
+	p.z = fp.Element{}
+}
+
+func (c *Curve) fpIsInfinity(p *fpJac) bool { return c.fpF.IsZero(&p.z) }
+
+// fpFromAffinePoint loads a finite affine point into Jacobian form
+// (Z = 1).
+func (c *Curve) fpFromAffinePoint(out *fpJac, p Point) {
+	c.fpF.FromBig(&out.x, p.X)
+	c.fpF.FromBig(&out.y, p.Y)
+	out.z = c.fpF.One()
+}
+
+// fpToPoint converts back to big.Int affine coordinates — the single
+// inversion of a scalar-multiplication call.
+func (c *Curve) fpToPoint(p *fpJac) Point {
+	f := c.fpF
+	if c.fpIsInfinity(p) {
+		return Point{}
+	}
+	var zinv, zinv2, x, y fp.Element
+	f.Inv(&zinv, &p.z)
+	f.Sqr(&zinv2, &zinv)
+	f.Mul(&x, &p.x, &zinv2)
+	f.Mul(&y, &zinv2, &zinv)
+	f.Mul(&y, &p.y, &y)
+	return Point{X: f.ToBig(&x), Y: f.ToBig(&y)}
+}
+
+// fpDouble sets p = 2p in place (dbl-2007-bl, with the a = −3 shortcut
+// used by all bundled curves).
+func (c *Curve) fpDouble(p *fpJac, s *fpScratch) {
+	f := c.fpF
+	if f.IsZero(&p.z) || f.IsZero(&p.y) {
+		c.fpSetInfinity(p)
+		return
+	}
+	xx, yy, yyyy, zz := &s.t[0], &s.t[1], &s.t[2], &s.t[3]
+	sS, m, tmp := &s.t[4], &s.t[5], &s.t[6]
+	x3, y3, z3 := &s.t[7], &s.t[8], &s.t[9]
+
+	f.Sqr(xx, &p.x)
+	f.Sqr(yy, &p.y)
+	f.Sqr(yyyy, yy)
+	f.Sqr(zz, &p.z)
+
+	// S = 2·((X+YY)² − XX − YYYY)
+	f.Add(sS, &p.x, yy)
+	f.Sqr(sS, sS)
+	f.Sub(sS, sS, xx)
+	f.Sub(sS, sS, yyyy)
+	f.Dbl(sS, sS)
+
+	// M = 3·XX + a·ZZ² ; for a = −3: M = 3·(X−ZZ)(X+ZZ)
+	if c.aIsMinus3 {
+		f.Sub(m, &p.x, zz)
+		f.Add(tmp, &p.x, zz)
+		f.Mul(m, m, tmp)
+		f.Dbl(tmp, m)
+		f.Add(m, tmp, m)
+	} else {
+		f.Dbl(m, xx)
+		f.Add(m, m, xx)
+		f.Sqr(tmp, zz)
+		f.Mul(tmp, tmp, &c.fpA)
+		f.Add(m, m, tmp)
+	}
+
+	// X' = M² − 2S
+	f.Sqr(x3, m)
+	f.Dbl(tmp, sS)
+	f.Sub(x3, x3, tmp)
+
+	// Y' = M·(S − X') − 8·YYYY
+	f.Sub(tmp, sS, x3)
+	f.Mul(y3, m, tmp)
+	f.Dbl(yyyy, yyyy)
+	f.Dbl(yyyy, yyyy)
+	f.Dbl(yyyy, yyyy)
+	f.Sub(y3, y3, yyyy)
+
+	// Z' = (Y+Z)² − YY − ZZ
+	f.Add(tmp, &p.y, &p.z)
+	f.Sqr(z3, tmp)
+	f.Sub(z3, z3, yy)
+	f.Sub(z3, z3, zz)
+
+	p.x, p.y, p.z = *x3, *y3, *z3
+}
+
+// fpAddJac sets p = p + q (or p − q when neg) in place, add-2007-bl.
+// q must not alias p; the doubling and inverse cases fall back
+// correctly.
+func (c *Curve) fpAddJac(p *fpJac, q *fpJac, neg bool, s *fpScratch) {
+	f := c.fpF
+	if c.fpIsInfinity(q) {
+		return
+	}
+	if c.fpIsInfinity(p) {
+		*p = *q
+		if neg {
+			f.Neg(&p.y, &p.y)
+		}
+		return
+	}
+	z1z1, z2z2 := &s.t[0], &s.t[1]
+	u1, u2, s1, s2 := &s.t[2], &s.t[3], &s.t[4], &s.t[5]
+	h, i, j, r, v, tmp := &s.t[6], &s.t[7], &s.t[8], &s.t[9], &s.t[10], &s.t[11]
+
+	f.Sqr(z1z1, &p.z)
+	f.Sqr(z2z2, &q.z)
+	f.Mul(u1, &p.x, z2z2)
+	f.Mul(u2, &q.x, z1z1)
+	f.Mul(s1, &q.z, z2z2)
+	f.Mul(s1, &p.y, s1)
+	f.Mul(s2, &p.z, z1z1)
+	f.Mul(s2, &q.y, s2)
+	if neg {
+		f.Neg(s2, s2)
+	}
+
+	if f.Equal(u1, u2) {
+		if !f.Equal(s1, s2) {
+			c.fpSetInfinity(p) // p = −q' (group inverse)
+			return
+		}
+		c.fpDouble(p, s) // p = q' as group elements
+		return
+	}
+
+	f.Sub(h, u2, u1)
+	f.Dbl(i, h)
+	f.Sqr(i, i)
+	f.Mul(j, h, i)
+	f.Sub(r, s2, s1)
+	f.Dbl(r, r)
+	f.Mul(v, u1, i) // i free after this
+
+	// X3 = r² − J − 2V
+	f.Sqr(i, r)
+	f.Sub(i, i, j)
+	f.Dbl(tmp, v)
+	f.Sub(i, i, tmp) // x3 in i
+
+	// Y3 = r·(V − X3) − 2·S1·J
+	f.Sub(tmp, v, i)
+	f.Mul(tmp, r, tmp)
+	f.Mul(s1, s1, j)
+	f.Dbl(s1, s1)
+	f.Sub(tmp, tmp, s1) // y3 in tmp
+
+	// Z3 = ((Z1+Z2)² − Z1Z1 − Z2Z2)·H
+	f.Add(r, &p.z, &q.z)
+	f.Sqr(r, r)
+	f.Sub(r, r, z1z1)
+	f.Sub(r, r, z2z2)
+	f.Mul(r, r, h) // z3 in r
+
+	p.x, p.y, p.z = *i, *tmp, *r
+}
+
+// fpAddAffine sets p = p + q (or p − q when neg) for an affine q —
+// the mixed addition (madd-2007-bl) used against precomputed tables.
+func (c *Curve) fpAddAffine(p *fpJac, q *fpAffine, neg bool, s *fpScratch) {
+	f := c.fpF
+	if c.fpIsInfinity(p) {
+		p.x = q.x
+		p.y = q.y
+		if neg {
+			f.Neg(&p.y, &p.y)
+		}
+		p.z = c.fpF.One()
+		return
+	}
+	z1z1, u2, s2 := &s.t[0], &s.t[1], &s.t[2]
+	h, hh, i, j, r, v, tmp := &s.t[3], &s.t[4], &s.t[5], &s.t[6], &s.t[7], &s.t[8], &s.t[9]
+
+	f.Sqr(z1z1, &p.z)
+	f.Mul(u2, &q.x, z1z1)
+	f.Mul(s2, &p.z, z1z1)
+	f.Mul(s2, &q.y, s2)
+	if neg {
+		f.Neg(s2, s2)
+	}
+
+	if f.Equal(&p.x, u2) {
+		if !f.Equal(&p.y, s2) {
+			c.fpSetInfinity(p)
+			return
+		}
+		c.fpDouble(p, s)
+		return
+	}
+
+	f.Sub(h, u2, &p.x)
+	f.Sqr(hh, h)
+	f.Dbl(i, hh)
+	f.Dbl(i, i)
+	f.Mul(j, h, i)
+	f.Sub(r, s2, &p.y)
+	f.Dbl(r, r)
+	f.Mul(v, &p.x, i) // i free after this
+
+	// X3 = r² − J − 2V
+	f.Sqr(i, r)
+	f.Sub(i, i, j)
+	f.Dbl(tmp, v)
+	f.Sub(i, i, tmp) // x3 in i
+
+	// Y3 = r·(V − X3) − 2·Y1·J
+	f.Sub(tmp, v, i)
+	f.Mul(tmp, r, tmp)
+	f.Mul(j, &p.y, j)
+	f.Dbl(j, j)
+	f.Sub(tmp, tmp, j) // y3 in tmp
+
+	// Z3 = (Z1+H)² − Z1Z1 − HH
+	f.Add(r, &p.z, h)
+	f.Sqr(r, r)
+	f.Sub(r, r, z1z1)
+	f.Sub(r, r, hh) // z3 in r
+
+	p.x, p.y, p.z = *i, *tmp, *r
+}
+
+// fpBatchToAffine converts Jacobian points to fpAffine with a single
+// field inversion (Montgomery's trick). Used only for table builds;
+// every input must be finite.
+func (c *Curve) fpBatchToAffine(pts []fpJac, out []fpAffine) {
+	f := c.fpF
+	n := len(pts)
+	if n == 0 {
+		return
+	}
+	prefix := make([]fp.Element, n+1)
+	prefix[0] = f.One()
+	for i := range pts {
+		f.Mul(&prefix[i+1], &prefix[i], &pts[i].z)
+	}
+	var inv, zinv, zinv2 fp.Element
+	f.Inv(&inv, &prefix[n])
+	for i := n - 1; i >= 0; i-- {
+		f.Mul(&zinv, &prefix[i], &inv)
+		f.Mul(&inv, &inv, &pts[i].z)
+		f.Sqr(&zinv2, &zinv)
+		f.Mul(&out[i].x, &pts[i].x, &zinv2)
+		f.Mul(&zinv2, &zinv2, &zinv)
+		f.Mul(&out[i].y, &pts[i].y, &zinv2)
+	}
+}
+
+// --- scalar recoding (allocation-free) ---
+
+// scalarLimbs decomposes a reduced scalar (< 2^256) into five
+// little-endian limbs without heap allocation; the fifth limb absorbs
+// wNAF carries.
+func scalarLimbs(k *big.Int, limbs *[5]uint64) {
+	var kb [32]byte
+	k.FillBytes(kb[:])
+	limbs[0] = binary.BigEndian.Uint64(kb[24:32])
+	limbs[1] = binary.BigEndian.Uint64(kb[16:24])
+	limbs[2] = binary.BigEndian.Uint64(kb[8:16])
+	limbs[3] = binary.BigEndian.Uint64(kb[0:8])
+	limbs[4] = 0
+}
+
+func limbsZero(l *[5]uint64) bool {
+	return l[0]|l[1]|l[2]|l[3]|l[4] == 0
+}
+
+func limbsAdd(l *[5]uint64, v uint64) {
+	for i := 0; i < 5 && v != 0; i++ {
+		s := l[i] + v
+		if s < l[i] {
+			v = 1
+		} else {
+			v = 0
+		}
+		l[i] = s
+	}
+}
+
+func limbsShr1(l *[5]uint64) {
+	l[0] = l[0]>>1 | l[1]<<63
+	l[1] = l[1]>>1 | l[2]<<63
+	l[2] = l[2]>>1 | l[3]<<63
+	l[3] = l[3]>>1 | l[4]<<63
+	l[4] >>= 1
+}
+
+// wnafFixed computes the width-w NAF of a reduced scalar into a
+// caller-provided buffer (least significant digit first), performing
+// no heap allocation. Digits are odd in (−2^(w−1), 2^(w−1)) or zero.
+func wnafFixed(k *big.Int, w uint, buf []int8) []int8 {
+	var limbs [5]uint64
+	scalarLimbs(k, &limbs)
+	mod := uint64(1) << w
+	half := mod >> 1
+	digits := buf[:0]
+	for !limbsZero(&limbs) {
+		var d int8
+		if limbs[0]&1 == 1 {
+			r := limbs[0] & (mod - 1)
+			if r >= half {
+				d = int8(int64(r) - int64(mod))
+				limbsAdd(&limbs, mod-r)
+			} else {
+				d = int8(r)
+				limbs[0] -= r
+			}
+		}
+		digits = append(digits, d)
+		limbsShr1(&limbs)
+	}
+	return digits
+}
+
+// --- fixed-base comb table ---
+
+// combWindow is the fixed-base window width in bits: the scalar is cut
+// into 4-bit nibbles and k·G is the sum of one precomputed table entry
+// per nonzero nibble — no doublings at all in the evaluation loop.
+const combWindow = 4
+
+// combRow holds the 15 nonzero multiples i·(16^w)·G of one window.
+type combRow [15]fpAffine
+
+// combRows lazily builds the fixed-base comb: for every 4-bit window w
+// of the scalar, the affine points i·16^w·G, i = 1..15. ~64 rows on
+// P-256 (60 KiB), built once per curve with a single batched inversion.
+func (c *Curve) combRows() []combRow {
+	c.combOnce.Do(func() {
+		windows := (c.N.BitLen() + combWindow - 1) / combWindow
+		jacs := make([]fpJac, windows*15)
+		var base, cur fpJac
+		var s fpScratch
+		c.fpFromAffinePoint(&base, c.Generator())
+		for w := 0; w < windows; w++ {
+			cur = base
+			jacs[w*15] = cur
+			for i := 1; i < 15; i++ {
+				c.fpAddJac(&cur, &base, false, &s)
+				jacs[w*15+i] = cur
+			}
+			for d := 0; d < combWindow; d++ {
+				c.fpDouble(&base, &s)
+			}
+		}
+		flat := make([]fpAffine, len(jacs))
+		c.fpBatchToAffine(jacs, flat)
+		rows := make([]combRow, windows)
+		for w := 0; w < windows; w++ {
+			copy(rows[w][:], flat[w*15:(w+1)*15])
+		}
+		c.comb = rows
+	})
+	return c.comb
+}
+
+// combAccumulate adds k·G into acc via the comb table (mixed
+// additions only). k must be reduced mod N.
+func (c *Curve) combAccumulate(acc *fpJac, k *big.Int, s *fpScratch) {
+	rows := c.combRows()
+	var limbs [5]uint64
+	scalarLimbs(k, &limbs)
+	for w := range rows {
+		nib := (limbs[w/16] >> (4 * uint(w%16))) & 0xf
+		if nib != 0 {
+			c.fpAddAffine(acc, &rows[w][nib-1], false, s)
+		}
+	}
+}
+
+// --- scalar multiplication (fp backend) ---
+
+// fpOddMultiples fills table with [P, 3P, 5P, ..., 15P] in Jacobian
+// form for the wNAF loop. p must be finite.
+func (c *Curve) fpOddMultiples(p Point, table *[8]fpJac, s *fpScratch) {
+	c.fpFromAffinePoint(&table[0], p)
+	twoP := table[0]
+	c.fpDouble(&twoP, s)
+	for i := 1; i < 8; i++ {
+		table[i] = table[i-1]
+		c.fpAddJac(&table[i], &twoP, false, s)
+	}
+}
+
+// wnafAccumulate runs the shared double-and-add loop over a wNAF digit
+// string, adding table entries (Jacobian form) into acc.
+func (c *Curve) wnafAccumulate(acc *fpJac, table *[8]fpJac, digits []int8, s *fpScratch) {
+	for i := len(digits) - 1; i >= 0; i-- {
+		c.fpDouble(acc, s)
+		d := digits[i]
+		if d > 0 {
+			c.fpAddJac(acc, &table[(d-1)/2], false, s)
+		} else if d < 0 {
+			c.fpAddJac(acc, &table[(-d-1)/2], true, s)
+		}
+	}
+}
+
+// scalarMultFP evaluates k·P for a finite P and reduced nonzero k with
+// O(1) heap allocations (the output Point and a big.Int scratch or
+// two at the boundary).
+func (c *Curve) scalarMultFP(p Point, kr *big.Int) Point {
+	var s fpScratch
+	var table [8]fpJac
+	c.fpOddMultiples(p, &table, &s)
+	var dbuf [264]int8
+	digits := wnafFixed(kr, wnafWindow, dbuf[:])
+	var acc fpJac
+	c.fpSetInfinity(&acc)
+	c.wnafAccumulate(&acc, &table, digits, &s)
+	return c.fpToPoint(&acc)
+}
+
+// scalarBaseMultFP evaluates k·G through the comb table: ~windows
+// mixed additions, zero doublings.
+func (c *Curve) scalarBaseMultFP(kr *big.Int) Point {
+	var s fpScratch
+	var acc fpJac
+	c.fpSetInfinity(&acc)
+	c.combAccumulate(&acc, kr, &s)
+	return c.fpToPoint(&acc)
+}
+
+// scalarMultNaiveFP is the schoolbook double-and-add ladder on limb
+// elements — the ablation baseline, sharing ScalarMult's field backend
+// so the comparison isolates the wNAF recoding.
+func (c *Curve) scalarMultNaiveFP(p Point, kr *big.Int) Point {
+	var s fpScratch
+	var acc, add fpJac
+	c.fpSetInfinity(&acc)
+	c.fpFromAffinePoint(&add, p)
+	for i := kr.BitLen() - 1; i >= 0; i-- {
+		c.fpDouble(&acc, &s)
+		if kr.Bit(i) == 1 {
+			c.fpAddJac(&acc, &add, false, &s)
+		}
+	}
+	return c.fpToPoint(&acc)
+}
+
+// combinedMultFP evaluates u1·G + u2·Q: the u2 part through the wNAF
+// double-and-add chain, the base part folded in afterwards via the
+// comb (which needs no doublings, so nothing is gained interleaving
+// it). Both scalars reduced and nonzero, Q finite.
+func (c *Curve) combinedMultFP(q Point, u1, u2 *big.Int) Point {
+	var s fpScratch
+	var table [8]fpJac
+	c.fpOddMultiples(q, &table, &s)
+	var dbuf [264]int8
+	digits := wnafFixed(u2, wnafWindow, dbuf[:])
+	var acc fpJac
+	c.fpSetInfinity(&acc)
+	c.wnafAccumulate(&acc, &table, digits, &s)
+	c.combAccumulate(&acc, u1, &s)
+	return c.fpToPoint(&acc)
+}
+
+// addFP is the group addition at the public API boundary.
+func (c *Curve) addFP(p, q Point) Point {
+	if p.IsInfinity() {
+		return q.Clone()
+	}
+	if q.IsInfinity() {
+		return p.Clone()
+	}
+	var s fpScratch
+	var jp, jq fpJac
+	c.fpFromAffinePoint(&jp, p)
+	c.fpFromAffinePoint(&jq, q)
+	c.fpAddJac(&jp, &jq, false, &s)
+	return c.fpToPoint(&jp)
+}
+
+// doubleFP is the group doubling at the public API boundary.
+func (c *Curve) doubleFP(p Point) Point {
+	if p.IsInfinity() {
+		return Point{}
+	}
+	var s fpScratch
+	var jp fpJac
+	c.fpFromAffinePoint(&jp, p)
+	c.fpDouble(&jp, &s)
+	return c.fpToPoint(&jp)
+}

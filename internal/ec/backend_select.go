@@ -1,0 +1,9 @@
+//go:build !ec_purebig
+
+package ec
+
+// useBigBackend selects the math/big point-arithmetic oracle instead
+// of the fixed-limb Montgomery backend. Build with -tags ec_purebig to
+// flip it: the two backends are differentially tested against each
+// other, and `make bench-compare` benchmarks one against the other.
+const useBigBackend = false

@@ -1,0 +1,7 @@
+//go:build ec_purebig
+
+package ec
+
+// useBigBackend: this build uses the math/big oracle for all point
+// arithmetic (see backend_select.go for the default).
+const useBigBackend = true

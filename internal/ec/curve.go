@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"math/big"
 	"sync"
+
+	"repro/internal/ec/fp"
 )
 
 // Curve describes a short Weierstrass curve y² = x³ + ax + b over the
@@ -35,14 +37,31 @@ type Curve struct {
 	byteLen int
 
 	// baseTable caches odd multiples of G (affine, via batch
-	// inversion) for wNAF base-point multiplication; built lazily.
+	// inversion) for wNAF base-point multiplication on the math/big
+	// oracle path; built lazily.
 	baseOnce  sync.Once
 	baseTable []Point
 
 	// aIsMinus3 records whether a ≡ −3 (mod p), enabling the faster
 	// doubling formula used by the NIST curves.
 	aIsMinus3 bool
+
+	// fpF is the fixed-limb Montgomery field context of the default
+	// backend (nil when the prime does not fit, which never happens
+	// for the bundled curves), with the curve coefficient a in
+	// Montgomery form alongside.
+	fpF *fp.Field
+	fpA fp.Element
+
+	// comb is the lazily built fixed-base comb table for ScalarBaseMult
+	// (one row of 15 affine points per 4-bit scalar window).
+	combOnce sync.Once
+	comb     []combRow
 }
+
+// useFP reports whether the fixed-limb backend serves this curve in
+// this build.
+func (c *Curve) useFP() bool { return !useBigBackend && c.fpF != nil }
 
 // ByteLen returns the length in bytes of a serialized field element
 // (and therefore of a coordinate or scalar) on this curve.
@@ -74,6 +93,10 @@ func newCurve(name string, p, a, b, gx, gy, n string, h, bits int) *Curve {
 	c.byteLen = (bits + 7) / 8
 	aPlus3 := new(big.Int).Add(c.A, big.NewInt(3))
 	c.aIsMinus3 = aPlus3.Cmp(c.P) == 0
+	if f, err := fp.New(c.P); err == nil {
+		c.fpF = f
+		f.FromBig(&c.fpA, c.A)
+	}
 	return c
 }
 

@@ -35,11 +35,11 @@ func modSqr(a, p *big.Int) *big.Int {
 
 // modNeg returns (−a) mod p.
 func modNeg(a, p *big.Int) *big.Int {
-	if a.Sign() == 0 {
-		return new(big.Int)
+	r := new(big.Int).Mod(a, p)
+	if r.Sign() == 0 {
+		return r
 	}
-	r := new(big.Int).Sub(p, new(big.Int).Mod(a, p))
-	return r.Mod(r, p)
+	return r.Sub(p, r)
 }
 
 // modInv returns a⁻¹ mod p. It returns an error when a ≡ 0 (mod p),

@@ -53,6 +53,14 @@ func (c *Curve) Neg(p Point) Point {
 
 // Add returns p + q using the affine group law via Jacobian coordinates.
 func (c *Curve) Add(p, q Point) Point {
+	if c.useFP() {
+		return c.addFP(p, q)
+	}
+	return c.addBig(p, q)
+}
+
+// addBig is the math/big group addition (differential oracle).
+func (c *Curve) addBig(p, q Point) Point {
 	jp := c.toJacobian(p)
 	jq := c.toJacobian(q)
 	return c.fromJacobian(c.jacAdd(jp, jq))
@@ -60,6 +68,14 @@ func (c *Curve) Add(p, q Point) Point {
 
 // Double returns 2p.
 func (c *Curve) Double(p Point) Point {
+	if c.useFP() {
+		return c.doubleFP(p)
+	}
+	return c.doubleBig(p)
+}
+
+// doubleBig is the math/big doubling (differential oracle).
+func (c *Curve) doubleBig(p Point) Point {
 	return c.fromJacobian(c.jacDouble(c.toJacobian(p)))
 }
 

@@ -6,33 +6,40 @@ import "math/big"
 //
 //   - ScalarMult: 5-bit wNAF with an on-the-fly odd-multiples table,
 //     used for arbitrary points (ECDH premaster, ECQV reconstruction).
-//   - ScalarBaseMult: same recoding against a cached table of odd
-//     multiples of G.
-//   - CombinedMult: Shamir's trick / Strauss interleaving for
-//     u1·G + u2·Q, the hot path of ECDSA verification.
+//   - ScalarBaseMult: fixed-base comb over a cached per-curve table
+//     (no doublings at all on the default backend).
+//   - CombinedMult: u1·G + u2·Q, the hot path of ECDSA verification.
 //
-// All strategies are variable time; see the package comment.
+// Each strategy has two implementations: the default fixed-limb
+// Montgomery backend (backend_fp.go, O(1) allocations per call) and
+// the original math/big path below, retained as a differential oracle
+// and selectable with -tags ec_purebig. All strategies are variable
+// time; see the package comment.
 
 const wnafWindow = 5 // window width; table holds 2^(w-2) odd multiples
 
 // wnaf returns the width-w non-adjacent form of k, least significant
 // digit first. Digits are odd integers in (−2^(w−1), 2^(w−1)) or zero.
+// One scratch big.Int serves every digit; the only remaining per-call
+// allocations are the scratch, the working copy of k and the digit
+// slice. (The fp backend uses the fully allocation-free wnafFixed.)
 func wnaf(k *big.Int, w uint) []int8 {
 	if k.Sign() == 0 {
 		return nil
 	}
-	var digits []int8
+	digits := make([]int8, 0, k.BitLen()+1)
 	d := new(big.Int).Set(k)
+	scratch := new(big.Int)
 	mod := int64(1) << w        // 2^w
 	half := int64(1) << (w - 1) // 2^(w−1)
 	for d.Sign() > 0 {
 		if d.Bit(0) == 1 {
-			r := new(big.Int).And(d, big.NewInt(mod-1)).Int64()
+			r := scratch.And(d, scratch.SetInt64(mod-1)).Int64()
 			if r >= half {
 				r -= mod
 			}
 			digits = append(digits, int8(r))
-			d.Sub(d, big.NewInt(r))
+			d.Sub(d, scratch.SetInt64(r))
 		} else {
 			digits = append(digits, 0)
 		}
@@ -70,14 +77,39 @@ func (c *Curve) scalarMultWNAF(table []*jacobianPoint, k *big.Int) *jacobianPoin
 	return acc
 }
 
+// reduceScalar returns k mod n, or nil when the result is zero.
+func (c *Curve) reduceScalar(k *big.Int) *big.Int {
+	kr := new(big.Int).Mod(k, c.N)
+	if kr.Sign() == 0 {
+		return nil
+	}
+	return kr
+}
+
 // ScalarMult returns k·P. The scalar is reduced modulo the group order;
 // k ≡ 0 or P = ∞ yields the point at infinity.
 func (c *Curve) ScalarMult(p Point, k *big.Int) Point {
+	if !c.useFP() {
+		return c.scalarMultBig(p, k)
+	}
 	if p.IsInfinity() {
 		return Point{}
 	}
-	kr := new(big.Int).Mod(k, c.N)
-	if kr.Sign() == 0 {
+	kr := c.reduceScalar(k)
+	if kr == nil {
+		return Point{}
+	}
+	return c.scalarMultFP(p, kr)
+}
+
+// scalarMultBig is the math/big wNAF path, exposed internally as the
+// differential oracle for the fp backend.
+func (c *Curve) scalarMultBig(p Point, k *big.Int) Point {
+	if p.IsInfinity() {
+		return Point{}
+	}
+	kr := c.reduceScalar(k)
+	if kr == nil {
 		return Point{}
 	}
 	table := c.oddMultiples(p, wnafWindow)
@@ -86,14 +118,18 @@ func (c *Curve) ScalarMult(p Point, k *big.Int) Point {
 
 // ScalarMultNaive is the schoolbook double-and-add ladder, retained as
 // a correctness oracle and as the baseline of the scalar-multiplication
-// ablation bench.
+// ablation bench. It runs on the same field backend as ScalarMult so
+// the ablation isolates the recoding algorithm, not the field layer.
 func (c *Curve) ScalarMultNaive(p Point, k *big.Int) Point {
 	if p.IsInfinity() {
 		return Point{}
 	}
-	kr := new(big.Int).Mod(k, c.N)
-	if kr.Sign() == 0 {
+	kr := c.reduceScalar(k)
+	if kr == nil {
 		return Point{}
+	}
+	if c.useFP() {
+		return c.scalarMultNaiveFP(p, kr)
 	}
 	acc := c.jacInfinity()
 	add := c.toJacobian(p)
@@ -144,7 +180,7 @@ func (c *Curve) batchToAffine(points []*jacobianPoint) []Point {
 }
 
 // baseMultiples returns the cached odd-multiples table for G in affine
-// form, enabling the cheaper mixed addition in the wNAF loop.
+// form, enabling the cheaper mixed addition in the big-path wNAF loop.
 func (c *Curve) baseMultiples() []Point {
 	c.baseOnce.Do(func() {
 		c.baseTable = c.batchToAffine(c.oddMultiples(c.Generator(), wnafWindow))
@@ -170,19 +206,34 @@ func (c *Curve) scalarMultWNAFAffine(table []Point, k *big.Int) *jacobianPoint {
 	return acc
 }
 
-// ScalarBaseMult returns k·G using the cached affine base-point table.
+// ScalarBaseMult returns k·G. On the default backend this walks the
+// fixed-base comb table (mixed additions only); the oracle path uses
+// the cached affine odd-multiples table.
 func (c *Curve) ScalarBaseMult(k *big.Int) Point {
-	kr := new(big.Int).Mod(k, c.N)
-	if kr.Sign() == 0 {
+	if !c.useFP() {
+		return c.scalarBaseMultBig(k)
+	}
+	kr := c.reduceScalar(k)
+	if kr == nil {
+		return Point{}
+	}
+	return c.scalarBaseMultFP(kr)
+}
+
+// scalarBaseMultBig is the math/big base-point path (differential
+// oracle).
+func (c *Curve) scalarBaseMultBig(k *big.Int) Point {
+	kr := c.reduceScalar(k)
+	if kr == nil {
 		return Point{}
 	}
 	return c.fromJacobian(c.scalarMultWNAFAffine(c.baseMultiples(), kr))
 }
 
-// CombinedMult returns u1·G + u2·Q via Strauss–Shamir interleaving:
-// one shared doubling chain with per-scalar wNAF digit additions. This
-// nearly halves the doublings of two independent multiplications and is
-// the standard ECDSA-verify optimisation.
+// CombinedMult returns u1·G + u2·Q — the ECDSA verification hot path.
+// The default backend runs the u2 chain in fixed-limb wNAF and folds
+// the base term in through the comb table; the oracle path uses
+// Strauss–Shamir interleaving.
 func (c *Curve) CombinedMult(q Point, u1, u2 *big.Int) Point {
 	u1r := new(big.Int).Mod(u1, c.N)
 	u2r := new(big.Int).Mod(u2, c.N)
@@ -192,9 +243,33 @@ func (c *Curve) CombinedMult(q Point, u1, u2 *big.Int) Point {
 	if u1r.Sign() == 0 {
 		return c.ScalarMult(q, u2r)
 	}
+	if c.useFP() {
+		return c.combinedMultFP(q, u1r, u2r)
+	}
+	return c.combinedMultBigReduced(q, u1r, u2r)
+}
 
+// combinedMultBig is the math/big Strauss–Shamir path (differential
+// oracle).
+func (c *Curve) combinedMultBig(q Point, u1, u2 *big.Int) Point {
+	u1r := new(big.Int).Mod(u1, c.N)
+	u2r := new(big.Int).Mod(u2, c.N)
+	if q.IsInfinity() || u2r.Sign() == 0 {
+		return c.scalarBaseMultBig(u1r)
+	}
+	if u1r.Sign() == 0 {
+		return c.scalarMultBig(q, u2r)
+	}
+	return c.combinedMultBigReduced(q, u1r, u2r)
+}
+
+// straussInterleave is the shared doubling chain of Strauss–Shamir
+// interleaving over reduced nonzero scalars: base-table mixed
+// additions for u1's digits, with qAdd folding in each nonzero digit
+// of u2's Q term. Both CombinedMult oracle paths (fresh Jacobian
+// table and cached affine MultTable) share this loop.
+func (c *Curve) straussInterleave(u1r, u2r *big.Int, qAdd func(*jacobianPoint, int8) *jacobianPoint) *jacobianPoint {
 	gTable := c.baseMultiples() // affine: mixed additions
-	qTable := c.oddMultiples(q, wnafWindow)
 	d1 := wnaf(u1r, wnafWindow)
 	d2 := wnaf(u2r, wnafWindow)
 
@@ -213,12 +288,23 @@ func (c *Curve) CombinedMult(q Point, u1, u2 *big.Int) Point {
 			}
 		}
 		if i < len(d2) {
-			if d := d2[i]; d > 0 {
-				acc = c.jacAdd(acc, qTable[(d-1)/2])
-			} else if d < 0 {
-				acc = c.jacAdd(acc, c.jacNeg(qTable[(-d-1)/2]))
+			if d := d2[i]; d != 0 {
+				acc = qAdd(acc, d)
 			}
 		}
 	}
-	return c.fromJacobian(acc)
+	return acc
+}
+
+// combinedMultBigReduced interleaves against an on-the-fly Jacobian
+// odd-multiples table of Q, nearly halving the doublings of two
+// independent multiplications.
+func (c *Curve) combinedMultBigReduced(q Point, u1r, u2r *big.Int) Point {
+	qTable := c.oddMultiples(q, wnafWindow)
+	return c.fromJacobian(c.straussInterleave(u1r, u2r, func(acc *jacobianPoint, d int8) *jacobianPoint {
+		if d > 0 {
+			return c.jacAdd(acc, qTable[(d-1)/2])
+		}
+		return c.jacAdd(acc, c.jacNeg(qTable[(-d-1)/2]))
+	}))
 }

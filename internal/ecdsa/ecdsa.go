@@ -32,6 +32,24 @@ type PrivateKey struct {
 type PublicKey struct {
 	Curve *ec.Curve
 	Q     ec.Point
+
+	// table is the optional precomputed odd-multiples table for Q,
+	// installed by Precompute. It turns every verification's
+	// CombinedMult into mixed additions against a shared cache —
+	// worthwhile whenever the same key verifies more than once (fleet
+	// rekeys, group key distribution).
+	table *ec.MultTable
+}
+
+// Precompute builds and attaches the scalar-multiplication table for
+// Q, returning the key for chaining. Call it once at construction
+// time; a PublicKey must not be shared concurrently while Precompute
+// runs.
+func (p *PublicKey) Precompute() *PublicKey {
+	if p.table == nil && !p.Q.IsInfinity() {
+		p.table = p.Curve.NewMultTable(p.Q)
+	}
+	return p
 }
 
 // Signature is a raw ECDSA signature pair.
@@ -155,8 +173,13 @@ func (p *PublicKey) VerifyDigest(digest []byte, sig Signature) bool {
 	u2 := new(big.Int).Mul(sig.R, w)
 	u2.Mod(u2, c.N)
 
-	// R' = u1·G + u2·Q via Shamir's trick.
-	rp := c.CombinedMult(p.Q, u1, u2)
+	// R' = u1·G + u2·Q, through the precomputed table when attached.
+	var rp ec.Point
+	if p.table != nil {
+		rp = p.table.CombinedMult(u1, u2)
+	} else {
+		rp = c.CombinedMult(p.Q, u1, u2)
+	}
 	if rp.IsInfinity() {
 		return false
 	}

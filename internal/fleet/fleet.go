@@ -74,6 +74,12 @@ type Stats struct {
 	Handshakes int // total STS handshakes run (incl. rekeys)
 	Rekeys     int // handshakes triggered by policy expiry
 	Records    int // records sealed
+
+	// KeyCache reports the local device's per-peer key cache: after
+	// the first handshake with a peer, its certificate extraction and
+	// verification table are served from cache on every rekey, so a
+	// steady-state fleet shows hits growing with rekeys.
+	KeyCache core.CacheStats
 }
 
 type peerState struct {
@@ -280,6 +286,7 @@ func (m *Manager) Stats() Stats {
 		Handshakes: int(m.handshakes.Load()),
 		Rekeys:     int(m.rekeys.Load()),
 		Records:    int(m.records.Load()),
+		KeyCache:   m.self.KeyCache().Stats(),
 	}
 }
 

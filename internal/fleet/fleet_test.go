@@ -125,6 +125,12 @@ func TestManagerAutoRekey(t *testing.T) {
 	if st.Records != 5 {
 		t.Errorf("records = %d", st.Records)
 	}
+	// Every rekey re-validates the same static peer: after the first
+	// handshake, its extraction and verification table come from the
+	// local device's key cache.
+	if st.KeyCache.Hits == 0 {
+		t.Errorf("rekeys never hit the per-peer key cache: %+v", st.KeyCache)
+	}
 }
 
 func TestManagerErrors(t *testing.T) {
@@ -184,9 +190,9 @@ func TestManagerFailedConnectLeavesNoState(t *testing.T) {
 	}
 	// Impostor with the real peer's identity but a foreign CA's
 	// credentials: fails inside the handshake, after validation.
-	imp := *foreign
+	imp := foreign.Clone()
 	imp.ID = parties[1].ID
-	if err := m.Connect(&imp); err == nil {
+	if err := m.Connect(imp); err == nil {
 		t.Fatal("foreign-CA reconnect accepted")
 	}
 	got, err := m.Open(parties[1].ID, rec)
