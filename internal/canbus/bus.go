@@ -14,17 +14,28 @@ import (
 // time the frame occupied, which the experiment harness adds to its
 // simulated clock.
 //
-// The bus model is deliberately collision-free: CAN arbitration is
-// non-destructive and the session protocols are strict request/
-// response exchanges, so priority inversion never occurs in the
-// reproduced experiments.
+// The bus model is collision-free (CAN arbitration is non-destructive
+// and the session protocols are strict request/response exchanges) but
+// no longer loss-free: an installed Impairment deterministically
+// drops, corrupts, duplicates or delays frames, which is what the
+// timer- and retransmission-aware ISO-TP layer is tested against.
+// Multi-segment topologies are built by bridging buses with Gateways.
 type Bus struct {
 	rates BitRates
 
-	mu    sync.Mutex
-	nodes []*Node
-	stats Stats
+	mu      sync.Mutex
+	nodes   []*Node
+	stats   Stats
+	impair  *impairState
+	clock   *Clock
+	rxLimit int
 }
+
+// DefaultRxLimit bounds a node's receive queue unless overridden with
+// Bus.SetRxLimit or Node.SetRxLimit. Real controllers expose a handful
+// of RX mailboxes plus a driver ring; 1024 frames is a generous ring
+// that still catches runaway senders.
+const DefaultRxLimit = 1024
 
 // Stats accumulates bus-level counters for the experiment reports.
 type Stats struct {
@@ -33,27 +44,73 @@ type Stats struct {
 	PadBytes  int           // padding added by DLC quantization
 	WireTime  time.Duration // cumulative bus-busy time
 	Broadcast int           // total frame deliveries (frames × receivers)
+
+	// Impairment and queue-pressure counters.
+	Dropped    int           // frames destroyed on the wire
+	Corrupted  int           // frames delivered with a flipped bit
+	Duplicated int           // frames delivered twice
+	Delayed    int           // frames held for extra latency
+	DelayTime  time.Duration // cumulative injected latency
+	RxOverflow int           // deliveries lost to full receive queues
 }
 
-// Node is a bus endpoint with a receive queue.
+// Node is a bus endpoint with a bounded receive queue.
 type Node struct {
 	bus  *Bus
 	name string
 
-	mu sync.Mutex
-	rx []Frame
+	mu       sync.Mutex
+	rx       []Frame
+	rxLimit  int
+	overflow int
 }
 
 // NewBus creates a bus with the given bit rates.
 func NewBus(rates BitRates) *Bus {
-	return &Bus{rates: rates}
+	return &Bus{rates: rates, rxLimit: DefaultRxLimit}
+}
+
+// SetClock attaches a simulated clock; every transmitted frame's wire
+// time (and any injected delay) advances it. A nil clock detaches.
+func (b *Bus) SetClock(c *Clock) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.clock = c
+}
+
+// Impair installs deterministic fault injection on the bus. Installing
+// a zero-rate Impairment (or calling with all rates zero) still resets
+// the decision stream to the seed, so a topology can be re-armed for a
+// reproducibility re-run. ClearImpairment removes injection entirely.
+func (b *Bus) Impair(cfg Impairment) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.impair = newImpairState(cfg)
+}
+
+// ClearImpairment removes fault injection.
+func (b *Bus) ClearImpairment() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.impair = nil
+}
+
+// SetRxLimit sets the receive-queue bound applied to nodes attached
+// from now on (≤ 0 restores DefaultRxLimit).
+func (b *Bus) SetRxLimit(n int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if n <= 0 {
+		n = DefaultRxLimit
+	}
+	b.rxLimit = n
 }
 
 // Attach adds a named node to the bus.
 func (b *Bus) Attach(name string) *Node {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	n := &Node{bus: b, name: name}
+	n := &Node{bus: b, name: name, rxLimit: b.rxLimit}
 	b.nodes = append(b.nodes, n)
 	return n
 }
@@ -72,7 +129,10 @@ func (b *Bus) Rates() BitRates { return b.rates }
 var ErrNotAttached = errors.New("canbus: node not attached to a bus")
 
 // Send validates the frame, pads its payload to a legal CAN-FD DLC
-// length, delivers it to every other node and returns the wire time.
+// length, applies any installed impairment, delivers it to every other
+// node and returns the wire time. A dropped frame still returns its
+// wire time — it occupied the bus — with a nil error; loss is visible
+// only to the protocol layers above, exactly as on a real segment.
 func (n *Node) Send(f Frame) (time.Duration, error) {
 	if n.bus == nil {
 		return 0, ErrNotAttached
@@ -102,21 +162,68 @@ func (n *Node) Send(f Frame) (time.Duration, error) {
 	b.stats.Bytes += rawLen
 	b.stats.PadBytes += padded - rawLen
 	b.stats.WireTime += wt
-	for _, peer := range b.nodes {
-		if peer == n {
-			continue
+	b.clock.Advance(wt)
+
+	copies := 1
+	var delivered []byte
+	if b.impair != nil {
+		roll := b.impair.roll()
+		if roll.drop {
+			b.stats.Dropped++
+			return wt, nil
 		}
-		peer.mu.Lock()
-		peer.rx = append(peer.rx, Frame{
-			ID:       f.ID,
-			Extended: f.Extended,
-			BRS:      f.BRS,
-			Data:     append([]byte(nil), f.Data...),
-		})
-		peer.mu.Unlock()
-		b.stats.Broadcast++
+		if roll.corrupt {
+			delivered = append([]byte(nil), f.Data...)
+			corruptFrame(delivered, roll)
+			b.stats.Corrupted++
+		}
+		if roll.duplicate {
+			b.stats.Duplicated++
+			copies = 2
+		}
+		if roll.delay {
+			b.stats.Delayed++
+			b.stats.DelayTime += b.impair.cfg.Delay
+			b.clock.Advance(b.impair.cfg.Delay)
+		}
+	}
+	if delivered == nil {
+		delivered = f.Data
+	}
+
+	for c := 0; c < copies; c++ {
+		for _, peer := range b.nodes {
+			if peer == n {
+				continue
+			}
+			out := Frame{
+				ID:       f.ID,
+				Extended: f.Extended,
+				BRS:      f.BRS,
+				Data:     append([]byte(nil), delivered...),
+			}
+			if peer.enqueue(out) {
+				b.stats.Broadcast++
+			} else {
+				b.stats.RxOverflow++
+			}
+		}
 	}
 	return wt, nil
+}
+
+// enqueue appends a frame to the receive queue, dropping it (and
+// counting the overflow) when the queue is full — the behaviour of a
+// controller whose RX mailboxes are all occupied.
+func (n *Node) enqueue(f Frame) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.rxLimit > 0 && len(n.rx) >= n.rxLimit {
+		n.overflow++
+		return false
+	}
+	n.rx = append(n.rx, f)
+	return true
 }
 
 // Receive pops the oldest pending frame, if any.
@@ -136,6 +243,21 @@ func (n *Node) Pending() int {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return len(n.rx)
+}
+
+// SetRxLimit overrides this node's receive-queue bound (≤ 0 means
+// unbounded — useful for measurement taps that must never lose).
+func (n *Node) SetRxLimit(limit int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.rxLimit = limit
+}
+
+// Overflow returns how many deliveries this node lost to a full queue.
+func (n *Node) Overflow() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.overflow
 }
 
 // Name returns the node's attach name.

@@ -1,0 +1,162 @@
+package canbus
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Gateway bridges CAN segments the way an automotive central gateway
+// does: it owns one port (a regular bus node) per attached segment and
+// forwards frames between them under per-direction identifier filters,
+// charging a store-and-forward latency per forwarded frame to the
+// simulated clock.
+//
+// Forwarding is pull-based: Pump drains every port's receive queue and
+// re-transmits matching frames on the destination segments. The
+// single-threaded experiment drivers pump gateways between protocol
+// steps (see transport.World), which keeps multi-hop delivery order —
+// and therefore seeded impairment decisions — deterministic.
+//
+// Loops are prevented by construction twice over: a frame forwarded
+// onto a segment is transmitted from the gateway's own port there, so
+// that port never hears its own forward; and routes are directional
+// with explicit filters, so a bridged frame only continues along
+// routes whose filter admits its identifier.
+type Gateway struct {
+	name  string
+	clock *Clock
+
+	mu     sync.Mutex
+	ports  []*gatewayPort
+	routes []gatewayRoute
+	stats  GatewayStats
+}
+
+// GatewayStats counts forwarding activity.
+type GatewayStats struct {
+	Forwarded int           // frames re-transmitted onto another segment
+	Filtered  int           // frames drained but admitted by no route
+	StoreTime time.Duration // cumulative store-and-forward latency
+}
+
+type gatewayPort struct {
+	bus  *Bus
+	node *Node
+}
+
+type gatewayRoute struct {
+	from, to *gatewayPort
+	filter   func(Frame) bool
+	latency  time.Duration
+}
+
+// NewGateway creates a gateway. The clock (may be nil) is charged the
+// store-and-forward latency of every forwarded frame.
+func NewGateway(name string, clock *Clock) *Gateway {
+	return &Gateway{name: name, clock: clock}
+}
+
+// Name returns the gateway's name.
+func (g *Gateway) Name() string { return g.name }
+
+// Stats returns a snapshot of the forwarding counters.
+func (g *Gateway) Stats() GatewayStats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.stats
+}
+
+// port returns (attaching on demand) the gateway's node on a bus.
+func (g *Gateway) port(bus *Bus) *gatewayPort {
+	for _, p := range g.ports {
+		if p.bus == bus {
+			return p
+		}
+	}
+	p := &gatewayPort{bus: bus, node: bus.Attach(fmt.Sprintf("%s:port%d", g.name, len(g.ports)))}
+	g.ports = append(g.ports, p)
+	return p
+}
+
+// Route adds a one-way forwarding rule: frames heard on from whose
+// identifier passes filter (nil admits everything) are re-transmitted
+// on to, after latency of store-and-forward delay. Call twice with
+// swapped buses — typically with different filters — for a
+// bidirectional bridge.
+func (g *Gateway) Route(from, to *Bus, filter func(Frame) bool, latency time.Duration) error {
+	if from == nil || to == nil {
+		return errors.New("canbus: gateway route needs two buses")
+	}
+	if from == to {
+		return errors.New("canbus: gateway route cannot loop a bus onto itself")
+	}
+	if latency < 0 {
+		return errors.New("canbus: negative gateway latency")
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.routes = append(g.routes, gatewayRoute{
+		from:    g.port(from),
+		to:      g.port(to),
+		filter:  filter,
+		latency: latency,
+	})
+	return nil
+}
+
+// Pump drains every port and forwards matching frames, returning the
+// number of frames drained (forwarded or filtered). Callers loop until
+// it returns 0 to reach quiescence; a frame forwarded onto a segment
+// watched by another gateway is picked up by that gateway's next Pump,
+// so chained segments need a pump loop over all gateways (see
+// transport.World).
+func (g *Gateway) Pump() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	drained := 0
+	for _, p := range g.ports {
+		for {
+			f, ok := p.node.Receive()
+			if !ok {
+				break
+			}
+			drained++
+			matched := false
+			for _, r := range g.routes {
+				if r.from != p {
+					continue
+				}
+				if r.filter != nil && !r.filter(f) {
+					continue
+				}
+				matched = true
+				g.stats.StoreTime += r.latency
+				g.clock.Advance(r.latency)
+				if _, err := r.to.node.Send(f); err == nil {
+					g.stats.Forwarded++
+				}
+			}
+			if !matched {
+				g.stats.Filtered++
+			}
+		}
+	}
+	return drained
+}
+
+// IDRange returns a frame filter admitting identifiers in [lo, hi].
+func IDRange(lo, hi uint32) func(Frame) bool {
+	return func(f Frame) bool { return f.ID >= lo && f.ID <= hi }
+}
+
+// IDSet returns a frame filter admitting exactly the listed
+// identifiers.
+func IDSet(ids ...uint32) func(Frame) bool {
+	set := make(map[uint32]bool, len(ids))
+	for _, id := range ids {
+		set[id] = true
+	}
+	return func(f Frame) bool { return set[f.ID] }
+}

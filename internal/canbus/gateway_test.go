@@ -1,0 +1,174 @@
+package canbus
+
+import (
+	"testing"
+	"time"
+)
+
+// threeSegments builds the canonical chain A —GW1— B —GW2— C with
+// initiator IDs (0x100–0x1FF) flowing A→C and responder IDs
+// (0x200–0x2FF) flowing C→A.
+func threeSegments(t *testing.T, clock *Clock, latency time.Duration) (busA, busB, busC *Bus, gw1, gw2 *Gateway) {
+	t.Helper()
+	busA = NewBus(PrototypeRates)
+	busB = NewBus(PrototypeRates)
+	busC = NewBus(PrototypeRates)
+	for _, b := range []*Bus{busA, busB, busC} {
+		b.SetClock(clock)
+	}
+	gw1 = NewGateway("gw1", clock)
+	gw2 = NewGateway("gw2", clock)
+	fwd := IDRange(0x100, 0x1FF)
+	rev := IDRange(0x200, 0x2FF)
+	for _, r := range []struct {
+		gw       *Gateway
+		from, to *Bus
+		f        func(Frame) bool
+	}{
+		{gw1, busA, busB, fwd},
+		{gw1, busB, busA, rev},
+		{gw2, busB, busC, fwd},
+		{gw2, busC, busB, rev},
+	} {
+		if err := r.gw.Route(r.from, r.to, r.f, latency); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return
+}
+
+func pumpAll(gws ...*Gateway) {
+	for {
+		n := 0
+		for _, g := range gws {
+			n += g.Pump()
+		}
+		if n == 0 {
+			return
+		}
+	}
+}
+
+func TestGatewayForwardsAcrossThreeSegments(t *testing.T) {
+	clock := NewClock()
+	busA, _, busC, gw1, gw2 := threeSegments(t, clock, 100*time.Microsecond)
+	src := busA.Attach("ecu-a")
+	dst := busC.Attach("ecu-c")
+
+	if _, err := src.Send(Frame{ID: 0x110, BRS: true, Data: []byte{0xDE, 0xAD}}); err != nil {
+		t.Fatal(err)
+	}
+	pumpAll(gw1, gw2)
+
+	f, ok := dst.Receive()
+	if !ok {
+		t.Fatal("frame did not cross two gateways")
+	}
+	if f.ID != 0x110 || f.Data[0] != 0xDE {
+		t.Errorf("forwarded frame mangled: %+v", f)
+	}
+	// Two hops of store-and-forward latency plus three wire times.
+	if clock.Now() < 200*time.Microsecond {
+		t.Errorf("clock %v did not accumulate 2×100µs store latency", clock.Now())
+	}
+	if gw1.Stats().Forwarded != 1 || gw2.Stats().Forwarded != 1 {
+		t.Errorf("forward counts gw1=%+v gw2=%+v", gw1.Stats(), gw2.Stats())
+	}
+
+	// Reverse direction: responder ID from C reaches A.
+	if _, err := dst.Send(Frame{ID: 0x210, BRS: true, Data: []byte{0x01}}); err != nil {
+		t.Fatal(err)
+	}
+	pumpAll(gw1, gw2)
+	if f, ok := src.Receive(); !ok || f.ID != 0x210 {
+		t.Fatal("reverse frame did not reach segment A")
+	}
+}
+
+func TestGatewayFiltersBlockUnroutedIDs(t *testing.T) {
+	clock := NewClock()
+	busA, busB, busC, gw1, gw2 := threeSegments(t, clock, 0)
+	src := busA.Attach("ecu-a")
+	mid := busB.Attach("ecu-b")
+	dst := busC.Attach("ecu-c")
+
+	// 0x050 matches no route: it must stay on segment A.
+	if _, err := src.Send(Frame{ID: 0x050, Data: []byte{1}}); err != nil {
+		t.Fatal(err)
+	}
+	pumpAll(gw1, gw2)
+	if dst.Pending() != 0 || mid.Pending() != 0 {
+		t.Error("unrouted ID leaked across the gateway")
+	}
+	if gw1.Stats().Filtered != 1 {
+		t.Errorf("gw1 filtered %d, want 1", gw1.Stats().Filtered)
+	}
+
+	// A responder ID sent on A goes nowhere: the A→B route only
+	// admits initiator IDs (per-direction filtering).
+	if _, err := src.Send(Frame{ID: 0x210, Data: []byte{1}}); err != nil {
+		t.Fatal(err)
+	}
+	pumpAll(gw1, gw2)
+	if dst.Pending() != 0 {
+		t.Error("per-direction filter ignored")
+	}
+}
+
+func TestGatewayNoLoops(t *testing.T) {
+	// Two gateways bridging the same pair of buses in both directions:
+	// without the own-port suppression and directional filters this
+	// would forward forever.
+	clock := NewClock()
+	busA := NewBus(PrototypeRates)
+	busB := NewBus(PrototypeRates)
+	gw1 := NewGateway("gw1", clock)
+	gw2 := NewGateway("gw2", clock)
+	if err := gw1.Route(busA, busB, IDRange(0x100, 0x1FF), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := gw2.Route(busA, busB, IDRange(0x100, 0x1FF), 0); err != nil {
+		t.Fatal(err)
+	}
+	src := busA.Attach("a")
+	dst := busB.Attach("b")
+	if _, err := src.Send(Frame{ID: 0x100, Data: []byte{1}}); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { pumpAll(gw1, gw2); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("gateway pump did not quiesce (forwarding loop)")
+	}
+	// Both gateways forward the original frame once: two copies at dst.
+	if dst.Pending() != 2 {
+		t.Errorf("dst holds %d frames, want 2", dst.Pending())
+	}
+}
+
+func TestGatewayRouteValidation(t *testing.T) {
+	g := NewGateway("g", nil)
+	bus := NewBus(PrototypeRates)
+	if err := g.Route(bus, bus, nil, 0); err == nil {
+		t.Error("self-loop route accepted")
+	}
+	if err := g.Route(nil, bus, nil, 0); err == nil {
+		t.Error("nil bus accepted")
+	}
+	if err := g.Route(bus, NewBus(PrototypeRates), nil, -time.Second); err == nil {
+		t.Error("negative latency accepted")
+	}
+}
+
+func TestIDFilters(t *testing.T) {
+	r := IDRange(0x100, 0x10F)
+	if !r(Frame{ID: 0x100}) || !r(Frame{ID: 0x10F}) || r(Frame{ID: 0x110}) || r(Frame{ID: 0xFF}) {
+		t.Error("IDRange bounds wrong")
+	}
+	s := IDSet(1, 5, 9)
+	if !s(Frame{ID: 5}) || s(Frame{ID: 2}) {
+		t.Error("IDSet membership wrong")
+	}
+}

@@ -1,0 +1,94 @@
+package canbus
+
+import "time"
+
+// Impairment configures deterministic frame-level fault injection on a
+// bus. Rates are independent per-frame probabilities in [0, 1]; all
+// decisions come from a private splitmix64 stream seeded by Seed, so a
+// run with the same seed and the same transmit order reproduces the
+// exact same faults (the chaos experiments serialize their transmit
+// order for this reason).
+//
+// The fault model follows what a real CAN-FD segment can do to a
+// frame:
+//
+//   - Drop: the frame is destroyed on the wire (EMI burst, dominant
+//     glitch). It still occupies the bus for its wire time but reaches
+//     no receiver.
+//   - Corrupt: one payload bit flips and the receiving controllers'
+//     CRC check is assumed defeated (the CRC-collision case the upper
+//     layers must survive). The corrupted payload is delivered, which
+//     exercises ISO-TP PCI validation and the transport checksum.
+//   - Duplicate: the frame is delivered twice, as happens when a
+//     transmitter misses its ACK slot and re-arbitrates although every
+//     receiver already accepted the frame.
+//   - Delay: the frame is held for Delay of extra latency (charged to
+//     the simulated clock) before delivery — a saturated controller or
+//     a busy segment.
+type Impairment struct {
+	Seed uint64
+
+	Drop      float64 // probability a frame is lost on the wire
+	Corrupt   float64 // probability a delivered frame has a bit flipped
+	Duplicate float64 // probability a frame is delivered twice
+	DelayRate float64 // probability a frame is delayed by Delay
+
+	Delay time.Duration // extra latency charged per delayed frame
+}
+
+// impairRoll is one per-frame fault decision.
+type impairRoll struct {
+	drop       bool
+	corrupt    bool
+	corruptPos uint64 // bit index selector within the payload
+	duplicate  bool
+	delay      bool
+}
+
+// impairState is the seeded decision stream. It always draws the same
+// number of variates per frame, so a frame's fate depends only on its
+// position in the transmit order, never on the configured rates of
+// earlier frames.
+type impairState struct {
+	cfg   Impairment
+	state uint64
+}
+
+func newImpairState(cfg Impairment) *impairState {
+	return &impairState{cfg: cfg, state: cfg.Seed ^ 0x9E3779B97F4A7C15}
+}
+
+// next is splitmix64: tiny, seedable and plenty for fault injection.
+func (s *impairState) next() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// uniform returns the next variate in [0, 1).
+func (s *impairState) uniform() float64 {
+	return float64(s.next()>>11) / float64(1<<53)
+}
+
+// roll draws the complete fault decision for one frame.
+func (s *impairState) roll() impairRoll {
+	var r impairRoll
+	r.drop = s.uniform() < s.cfg.Drop
+	r.corrupt = s.uniform() < s.cfg.Corrupt
+	r.corruptPos = s.next()
+	r.duplicate = s.uniform() < s.cfg.Duplicate
+	r.delay = s.uniform() < s.cfg.DelayRate
+	return r
+}
+
+// corruptFrame flips one payload bit chosen by the roll. Zero-length
+// payloads cannot be corrupted.
+func corruptFrame(data []byte, roll impairRoll) {
+	if len(data) == 0 {
+		return
+	}
+	bit := roll.corruptPos % uint64(8*len(data))
+	data[bit/8] ^= 1 << (bit % 8)
+}

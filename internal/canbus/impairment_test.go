@@ -1,0 +1,173 @@
+package canbus
+
+import (
+	"testing"
+	"time"
+)
+
+func sendN(t *testing.T, n *Node, count int) {
+	t.Helper()
+	for i := 0; i < count; i++ {
+		if _, err := n.Send(Frame{ID: 0x10, BRS: true, Data: []byte{byte(i), byte(i >> 8)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestImpairmentDeterministic(t *testing.T) {
+	run := func() Stats {
+		bus := NewBus(PrototypeRates)
+		bus.Impair(Impairment{Seed: 7, Drop: 0.2, Corrupt: 0.1, Duplicate: 0.1, DelayRate: 0.1, Delay: time.Millisecond})
+		a := bus.Attach("a")
+		bus.Attach("b")
+		sendN(t, a, 500)
+		return bus.Stats()
+	}
+	s1, s2 := run(), run()
+	if s1 != s2 {
+		t.Fatalf("same seed diverged:\n%+v\n%+v", s1, s2)
+	}
+	if s1.Dropped == 0 || s1.Corrupted == 0 || s1.Duplicated == 0 || s1.Delayed == 0 {
+		t.Fatalf("expected every impairment class to fire over 500 frames: %+v", s1)
+	}
+	// Rough rate sanity: 20% drop over 500 frames lands well inside
+	// [50, 150] for any reasonable PRNG.
+	if s1.Dropped < 50 || s1.Dropped > 150 {
+		t.Errorf("drop count %d implausible for rate 0.2 over 500 frames", s1.Dropped)
+	}
+
+	// A different seed must give a different fault pattern.
+	bus := NewBus(PrototypeRates)
+	bus.Impair(Impairment{Seed: 8, Drop: 0.2, Corrupt: 0.1, Duplicate: 0.1, DelayRate: 0.1, Delay: time.Millisecond})
+	a := bus.Attach("a")
+	bus.Attach("b")
+	sendN(t, a, 500)
+	if bus.Stats() == s1 {
+		t.Error("different seeds produced identical fault statistics")
+	}
+}
+
+func TestImpairmentDropAndDuplicateDelivery(t *testing.T) {
+	bus := NewBus(PrototypeRates)
+	bus.Impair(Impairment{Seed: 1, Drop: 1})
+	a := bus.Attach("a")
+	b := bus.Attach("b")
+	sendN(t, a, 10)
+	if b.Pending() != 0 {
+		t.Errorf("drop rate 1 delivered %d frames", b.Pending())
+	}
+	if s := bus.Stats(); s.Dropped != 10 || s.Frames != 10 {
+		t.Errorf("stats %+v, want 10 dropped of 10", s)
+	}
+
+	bus2 := NewBus(PrototypeRates)
+	bus2.Impair(Impairment{Seed: 1, Duplicate: 1})
+	a2 := bus2.Attach("a")
+	b2 := bus2.Attach("b")
+	sendN(t, a2, 5)
+	if b2.Pending() != 10 {
+		t.Errorf("duplicate rate 1 delivered %d frames, want 10", b2.Pending())
+	}
+}
+
+func TestImpairmentCorruptionFlipsOneBit(t *testing.T) {
+	bus := NewBus(PrototypeRates)
+	bus.Impair(Impairment{Seed: 3, Corrupt: 1})
+	a := bus.Attach("a")
+	b := bus.Attach("b")
+	orig := []byte{0xAA, 0x55, 0x00, 0xFF}
+	if _, err := a.Send(Frame{ID: 1, Data: orig}); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := b.Receive()
+	if !ok {
+		t.Fatal("corrupted frame not delivered")
+	}
+	diffBits := 0
+	for i := range got.Data {
+		d := got.Data[i] ^ orig[i]
+		for ; d != 0; d &= d - 1 {
+			diffBits++
+		}
+	}
+	if diffBits != 1 {
+		t.Errorf("corruption flipped %d bits, want exactly 1", diffBits)
+	}
+}
+
+func TestImpairmentDelayAdvancesClock(t *testing.T) {
+	clock := NewClock()
+	bus := NewBus(PrototypeRates)
+	bus.SetClock(clock)
+	bus.Impair(Impairment{Seed: 5, DelayRate: 1, Delay: 2 * time.Millisecond})
+	a := bus.Attach("a")
+	bus.Attach("b")
+	wt, err := a.Send(Frame{ID: 1, Data: []byte{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := wt + 2*time.Millisecond
+	if clock.Now() != want {
+		t.Errorf("clock at %v, want wire+delay = %v", clock.Now(), want)
+	}
+	if s := bus.Stats(); s.Delayed != 1 || s.DelayTime != 2*time.Millisecond {
+		t.Errorf("delay stats %+v", s)
+	}
+}
+
+func TestRxQueueOverflow(t *testing.T) {
+	bus := NewBus(PrototypeRates)
+	bus.SetRxLimit(4)
+	a := bus.Attach("a")
+	b := bus.Attach("b")
+	sendN(t, a, 10)
+	if b.Pending() != 4 {
+		t.Errorf("queue holds %d frames, want 4", b.Pending())
+	}
+	if b.Overflow() != 6 {
+		t.Errorf("node overflow %d, want 6", b.Overflow())
+	}
+	if s := bus.Stats(); s.RxOverflow != 6 {
+		t.Errorf("bus RxOverflow %d, want 6", s.RxOverflow)
+	}
+	// The oldest frames were kept (overflow drops the newcomer).
+	f, _ := b.Receive()
+	if f.Data[0] != 0 {
+		t.Errorf("first queued frame payload %d, want 0", f.Data[0])
+	}
+	// Draining frees mailboxes for later traffic.
+	for b.Pending() > 0 {
+		b.Receive()
+	}
+	sendN(t, a, 1)
+	if b.Pending() != 1 {
+		t.Error("queue did not accept traffic after draining")
+	}
+	// A per-node override lifts the bound.
+	b.SetRxLimit(0)
+	sendN(t, a, 20)
+	if b.Pending() != 21 {
+		t.Errorf("unbounded node holds %d, want 21", b.Pending())
+	}
+}
+
+func TestClock(t *testing.T) {
+	var nilClock *Clock
+	if nilClock.Now() != 0 || nilClock.Advance(time.Second) != 0 || nilClock.AdvanceTo(time.Second) != 0 {
+		t.Error("nil clock must be inert")
+	}
+	c := NewClock()
+	c.Advance(3 * time.Millisecond)
+	c.Advance(-time.Millisecond) // ignored
+	if c.Now() != 3*time.Millisecond {
+		t.Errorf("clock at %v", c.Now())
+	}
+	c.AdvanceTo(2 * time.Millisecond) // past: no-op
+	if c.Now() != 3*time.Millisecond {
+		t.Error("clock ran backwards")
+	}
+	c.AdvanceTo(5 * time.Millisecond)
+	if c.Now() != 5*time.Millisecond {
+		t.Errorf("clock at %v, want 5ms", c.Now())
+	}
+}

@@ -1,0 +1,127 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/transport"
+)
+
+// Carrier runs the wire exchange of one handshake attempt between the
+// local initiator engine and the peer's responder engine. The default
+// carrier is the in-process lockstep loop the Manager has always used;
+// a NetCarrier instead pushes every handshake byte through the
+// impaired multi-segment CAN simulation, where an attempt can fail and
+// the Manager's retry policy takes over.
+type Carrier interface {
+	Exchange(init *core.Initiator, resp *core.Responder) error
+}
+
+// CarrierFactory selects the carrier for a peer — typically a
+// NetCarrier over that peer's endpoint pair.
+type CarrierFactory func(peer *core.Party) (Carrier, error)
+
+// maxHandshakeHops bounds the message exchange of one attempt; STS
+// needs four messages, so eight hops is generous for every
+// optimisation variant.
+const maxHandshakeHops = 8
+
+// directCarrier is the lossless in-process exchange.
+type directCarrier struct{}
+
+func (directCarrier) Exchange(init *core.Initiator, resp *core.Responder) error {
+	msg, err := init.Start()
+	if err != nil {
+		return err
+	}
+	for i := 0; i < maxHandshakeHops; i++ {
+		reply, _, err := resp.Handle(msg)
+		if err != nil {
+			return fmt.Errorf("fleet: responder: %w", err)
+		}
+		if reply == nil {
+			return nil
+		}
+		next, done, err := init.Handle(reply)
+		if err != nil {
+			return fmt.Errorf("fleet: initiator: %w", err)
+		}
+		if done {
+			return nil
+		}
+		msg = next
+	}
+	return errors.New("fleet: handshake did not converge")
+}
+
+// HandshakeCommCode tags handshake traffic on the session transport.
+const HandshakeCommCode = 0x10
+
+// NetCarrier drives a handshake attempt over a transport.Link: every
+// engine message crosses the (possibly impaired, gateway-bridged) CAN
+// fabric with ISO-TP timers and retransmission under it and
+// whole-message resends on top. An exchange error means this attempt
+// died on the wire (or desynchronized the strict engine states); the
+// Manager then decides whether a fresh attempt is allowed.
+type NetCarrier struct {
+	Link      *transport.Link
+	Local     *transport.Endpoint // initiator side
+	Remote    *transport.Endpoint // responder side
+	SessionID uint16
+}
+
+func (c *NetCarrier) Exchange(init *core.Initiator, resp *core.Responder) error {
+	// The world's endpoints are unsynchronized by design (one driving
+	// goroutine = reproducibility); holding the conversation lock for
+	// the whole attempt makes a parallel EstablishAll over one fabric
+	// serialize safely instead of racing.
+	c.Link.World.Acquire()
+	defer c.Link.World.Release()
+
+	// A fresh attempt starts from silence: move any in-flight frames
+	// of the previous attempt to their queues, then discard them along
+	// with partial reassembly state.
+	c.Link.World.Run()
+	c.Local.Flush()
+	c.Remote.Flush()
+
+	msg, err := init.Start()
+	if err != nil {
+		return err
+	}
+	for i := 0; i < maxHandshakeHops; i++ {
+		got, err := c.Link.Deliver(c.Local, c.Remote, c.wrap(msg))
+		if err != nil {
+			return fmt.Errorf("fleet: deliver to responder: %w", err)
+		}
+		reply, _, err := resp.Handle(got.Payload)
+		if err != nil {
+			return fmt.Errorf("fleet: responder: %w", err)
+		}
+		if reply == nil {
+			return nil
+		}
+		gotReply, err := c.Link.Deliver(c.Remote, c.Local, c.wrap(reply))
+		if err != nil {
+			return fmt.Errorf("fleet: deliver to initiator: %w", err)
+		}
+		next, done, err := init.Handle(gotReply.Payload)
+		if err != nil {
+			return fmt.Errorf("fleet: initiator: %w", err)
+		}
+		if done {
+			return nil
+		}
+		msg = next
+	}
+	return errors.New("fleet: handshake did not converge")
+}
+
+func (c *NetCarrier) wrap(payload []byte) transport.Message {
+	m := transport.Message{CommCode: HandshakeCommCode, SessionID: c.SessionID, Payload: payload}
+	if len(payload) > 0 {
+		m.OpCode = payload[0]
+	}
+	return m
+}

@@ -1,0 +1,269 @@
+package fleet
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/canbus"
+	"repro/internal/core"
+	"repro/internal/ec"
+	"repro/internal/ecqv"
+	"repro/internal/session"
+	"repro/internal/transport"
+)
+
+// chaosCounts aggregates every counter that must reproduce exactly
+// across two runs with the same seed.
+type chaosCounts struct {
+	Errors         int
+	BusDropped     int
+	BusCorrupted   int
+	BusDuplicated  int
+	Retransmits    int
+	MessageResends int
+	IntegrityDrops int
+	ProtocolDrops  int
+	Retries        int
+	FailedAttempts int
+	Forwarded      int
+	SimTime        time.Duration
+}
+
+// chaosTopology is the acceptance topology: the manager's segment A,
+// a backbone segment B and the peers' segment C, bridged by two
+// gateways with per-direction ID filters, every segment impaired.
+type chaosTopology struct {
+	world    *transport.World
+	buses    []*canbus.Bus
+	gateways []*canbus.Gateway
+	locals   []*transport.Endpoint
+	remotes  []*transport.Endpoint
+	carriers map[ecqv.ID]*NetCarrier
+}
+
+func buildChaos(t *testing.T, seed uint64, peers []*core.Party, drop, corrupt float64) *chaosTopology {
+	t.Helper()
+	w := transport.NewWorld(nil)
+	topo := &chaosTopology{world: w, carriers: map[ecqv.ID]*NetCarrier{}}
+
+	for i := 0; i < 3; i++ {
+		bus := canbus.NewBus(canbus.PrototypeRates)
+		bus.SetClock(w.Clock)
+		bus.Impair(canbus.Impairment{Seed: seed + uint64(i), Drop: drop, Corrupt: corrupt})
+		topo.buses = append(topo.buses, bus)
+	}
+	busA, busB, busC := topo.buses[0], topo.buses[1], topo.buses[2]
+
+	fwd := canbus.IDRange(0x100, 0x1FF) // initiator→responder IDs
+	rev := canbus.IDRange(0x200, 0x2FF) // responder→initiator IDs
+	lat := 50 * time.Microsecond
+	gw1 := canbus.NewGateway("gw1", w.Clock)
+	gw2 := canbus.NewGateway("gw2", w.Clock)
+	for _, r := range []struct {
+		gw       *canbus.Gateway
+		from, to *canbus.Bus
+		filter   func(canbus.Frame) bool
+	}{
+		{gw1, busA, busB, fwd}, {gw1, busB, busA, rev},
+		{gw2, busB, busC, fwd}, {gw2, busC, busB, rev},
+	} {
+		if err := r.gw.Route(r.from, r.to, r.filter, lat); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.AddGateway(gw1)
+	w.AddGateway(gw2)
+	topo.gateways = []*canbus.Gateway{gw1, gw2}
+
+	link := &transport.Link{World: w, MaxResend: 6}
+	cfg := transport.DefaultConfig()
+	for i, p := range peers {
+		// Acceptance filters pair each endpoint with its peer's CAN ID
+		// — on the shared segments the other seven conversations are
+		// invisible, as real controller mailbox filters make them.
+		lcfg, rcfg := cfg, cfg
+		lcfg.AcceptID = 0x200 + uint32(i)
+		rcfg.AcceptID = 0x100 + uint32(i)
+		local := transport.NewReliableEndpoint(w, busA.Attach(fmt.Sprintf("mgr→%s", p.ID)), 0x100+uint32(i), lcfg)
+		remote := transport.NewReliableEndpoint(w, busC.Attach(p.ID.String()), 0x200+uint32(i), rcfg)
+		topo.locals = append(topo.locals, local)
+		topo.remotes = append(topo.remotes, remote)
+		topo.carriers[p.ID] = &NetCarrier{Link: link, Local: local, Remote: remote, SessionID: uint16(i + 1)}
+	}
+	return topo
+}
+
+func (topo *chaosTopology) counts(errs []error, m *Manager) chaosCounts {
+	var c chaosCounts
+	for _, err := range errs {
+		if err != nil {
+			c.Errors++
+		}
+	}
+	for _, bus := range topo.buses {
+		s := bus.Stats()
+		c.BusDropped += s.Dropped
+		c.BusCorrupted += s.Corrupted
+		c.BusDuplicated += s.Duplicated
+	}
+	for _, eps := range [][]*transport.Endpoint{topo.locals, topo.remotes} {
+		for _, e := range eps {
+			s := e.Stats()
+			c.Retransmits += s.Retransmits
+			c.MessageResends += s.MessageResends
+			c.IntegrityDrops += s.IntegrityDrops
+			c.ProtocolDrops += s.ProtocolDrops
+		}
+	}
+	for _, gw := range topo.gateways {
+		c.Forwarded += gw.Stats().Forwarded
+	}
+	st := m.Stats()
+	c.Retries = st.HandshakeRetries
+	c.FailedAttempts = st.FailedAttempts
+	c.SimTime = topo.world.Clock.Now()
+	return c
+}
+
+// runChaos provisions a manager and peerCount peers, brings the fleet
+// up over the impaired 3-segment topology (sequentially — the
+// determinism contract of the seeded impairment streams) and returns
+// the aggregated counters.
+func runChaos(t *testing.T, seed uint64, peerCount int, drop, corrupt float64, attempts, parallelism int) chaosCounts {
+	t.Helper()
+	net, err := core.NewNetwork(ec.P256(), newDetRand(int64(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	self, err := net.Provision("chaos-gateway")
+	if err != nil {
+		t.Fatal(err)
+	}
+	peers := make([]*core.Party, peerCount)
+	for i := range peers {
+		if peers[i], err = net.Provision(fmt.Sprintf("ecu-%02d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	topo := buildChaos(t, seed, peers, drop, corrupt)
+	m, err := NewManager(self, core.OptNone, session.DefaultPolicy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetRetryPolicy(RetryPolicy{MaxAttempts: attempts})
+	m.SetCarrier(func(peer *core.Party) (Carrier, error) {
+		c, ok := topo.carriers[peer.ID]
+		if !ok {
+			t.Fatalf("no carrier for %s", peer.ID)
+		}
+		return c, nil
+	})
+
+	errs := m.EstablishAll(peers, parallelism)
+	counts := topo.counts(errs, m)
+
+	// Every converged session must actually carry traffic.
+	for _, p := range peers {
+		payload := []byte("chaos " + p.ID.String())
+		rec, err := m.Seal(p.ID, payload)
+		if err != nil {
+			t.Fatalf("seal to %s: %v", p.ID, err)
+		}
+		got, err := m.Open(p.ID, rec)
+		if err != nil {
+			t.Fatalf("open from %s: %v", p.ID, err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("record to %s corrupted", p.ID)
+		}
+	}
+	return counts
+}
+
+// TestChaosThreeSegmentFleet is the acceptance scenario: 8 peers
+// behind two gateways, 5% frame loss and 1% corruption on every
+// segment, full fleet bring-up with zero failures, and the complete
+// fault/recovery trace reproducible bit-for-bit under the same seed.
+func TestChaosThreeSegmentFleet(t *testing.T) {
+	const seed = 42
+	first := runChaos(t, seed, 8, 0.05, 0.01, 10, 1)
+	if first.Errors != 0 {
+		t.Fatalf("%d of 8 handshakes failed under 5%%/1%% impairment", first.Errors)
+	}
+	if first.BusDropped == 0 || first.BusCorrupted == 0 {
+		t.Errorf("impairment did not fire: %+v", first)
+	}
+	if first.Retransmits+first.MessageResends+first.Retries == 0 {
+		t.Errorf("fleet converged without any recovery activity — impairment too weak to prove anything: %+v", first)
+	}
+	if first.Forwarded == 0 {
+		t.Error("gateways forwarded nothing — the topology is not multi-segment")
+	}
+
+	second := runChaos(t, seed, 8, 0.05, 0.01, 10, 1)
+	if first != second {
+		t.Fatalf("same seed diverged:\nrun1 %+v\nrun2 %+v", first, second)
+	}
+
+	third := runChaos(t, seed+1, 8, 0.05, 0.01, 10, 1)
+	if third.Errors != 0 {
+		t.Fatalf("seed %d: %d handshakes failed", seed+1, third.Errors)
+	}
+	if third == first {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+// TestChaosLossless proves the network carrier costs nothing on a
+// clean fabric: no retries, no retransmissions, no failed attempts.
+func TestChaosLossless(t *testing.T) {
+	c := runChaos(t, 7, 4, 0, 0, 3, 1)
+	if c.Errors != 0 {
+		t.Fatalf("lossless bring-up failed: %+v", c)
+	}
+	if c.Retransmits != 0 || c.MessageResends != 0 || c.Retries != 0 || c.FailedAttempts != 0 {
+		t.Errorf("lossless path paid recovery costs: %+v", c)
+	}
+}
+
+// TestChaosParallelEstablishSerializes: a parallel EstablishAll over
+// one shared fabric must be race-free and converge — the NetCarriers
+// serialize whole attempts on the world's conversation lock. The
+// trace is not seed-reproducible here (workers race for the lock);
+// only sequential runs are.
+func TestChaosParallelEstablishSerializes(t *testing.T) {
+	c := runChaos(t, 77, 6, 0.02, 0.005, 10, 4)
+	if c.Errors != 0 {
+		t.Fatalf("parallel bring-up failed: %+v", c)
+	}
+}
+
+// TestChaosRetryExhaustion: a fabric that destroys everything burns
+// the whole attempt budget and surfaces the failure per peer.
+func TestChaosRetryExhaustion(t *testing.T) {
+	net, err := core.NewNetwork(ec.P256(), newDetRand(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	self, _ := net.Provision("gw")
+	peer, _ := net.Provision("unreachable")
+
+	topo := buildChaos(t, 99, []*core.Party{peer}, 1.0, 0)
+	m, _ := NewManager(self, core.OptNone, session.DefaultPolicy)
+	m.SetRetryPolicy(RetryPolicy{MaxAttempts: 3})
+	m.SetCarrier(func(p *core.Party) (Carrier, error) { return topo.carriers[p.ID], nil })
+
+	if err := m.Connect(peer); err == nil {
+		t.Fatal("handshake succeeded across a fabric with 100% loss")
+	}
+	st := m.Stats()
+	if st.FailedAttempts != 3 || st.HandshakeRetries != 2 {
+		t.Errorf("attempt accounting wrong: %+v", st)
+	}
+	if len(m.Peers()) != 0 {
+		t.Error("failed connect left a peer entry")
+	}
+}

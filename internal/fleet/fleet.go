@@ -58,15 +58,29 @@ type shard struct {
 
 // Manager maintains sessions from a local device to many peers.
 type Manager struct {
-	self   *core.Party
-	opt    core.STSOptimization
-	policy session.Policy
+	self    *core.Party
+	opt     core.STSOptimization
+	policy  session.Policy
+	retry   RetryPolicy
+	carrier CarrierFactory
 
 	shards [numShards]shard
 
 	handshakes atomic.Uint64
 	rekeys     atomic.Uint64
 	records    atomic.Uint64
+	hsRetries  atomic.Uint64
+	hsFailures atomic.Uint64
+}
+
+// RetryPolicy caps handshake attempts over an unreliable carrier.
+// Ephemeral secrets never survive a failed attempt: every retry is a
+// complete fresh STS run with new engines, so a half-delivered
+// transcript can never be resumed into a key.
+type RetryPolicy struct {
+	// MaxAttempts is the total attempt budget per handshake (≤ 0 or
+	// 1 means a single attempt — the lossless default).
+	MaxAttempts int
 }
 
 // Stats counts manager activity.
@@ -74,6 +88,10 @@ type Stats struct {
 	Handshakes int // total STS handshakes run (incl. rekeys)
 	Rekeys     int // handshakes triggered by policy expiry
 	Records    int // records sealed
+
+	// Retry-policy counters (zero under the lossless default carrier).
+	HandshakeRetries int // fresh attempts after a failed one
+	FailedAttempts   int // attempts that died on the wire or aborted
 
 	// KeyCache reports the local device's per-peer key cache: after
 	// the first handshake with a peer, its certificate extraction and
@@ -109,6 +127,17 @@ func NewManager(self *core.Party, opt core.STSOptimization, policy session.Polic
 	}
 	return m, nil
 }
+
+// SetRetryPolicy configures the per-handshake attempt budget. Call
+// before traffic starts; it applies to every subsequent handshake,
+// including transparent rekeys.
+func (m *Manager) SetRetryPolicy(p RetryPolicy) { m.retry = p }
+
+// SetCarrier routes handshakes through a custom carrier — typically a
+// NetCarrier per peer over the simulated CAN fabric. A nil factory
+// (or a nil carrier returned for a peer) falls back to the in-process
+// lossless exchange.
+func (m *Manager) SetCarrier(f CarrierFactory) { m.carrier = f }
 
 // peerEntry returns the peer's state, creating it when create is set.
 func (m *Manager) peerEntry(id ecqv.ID, create bool) *peerState {
@@ -283,21 +312,70 @@ func (m *Manager) Peers() []ecqv.ID {
 // Stats returns a snapshot of the counters.
 func (m *Manager) Stats() Stats {
 	return Stats{
-		Handshakes: int(m.handshakes.Load()),
-		Rekeys:     int(m.rekeys.Load()),
-		Records:    int(m.records.Load()),
-		KeyCache:   m.self.KeyCache().Stats(),
+		Handshakes:       int(m.handshakes.Load()),
+		Rekeys:           int(m.rekeys.Load()),
+		Records:          int(m.records.Load()),
+		HandshakeRetries: int(m.hsRetries.Load()),
+		FailedAttempts:   int(m.hsFailures.Load()),
+		KeyCache:         m.self.KeyCache().Stats(),
 	}
 }
 
-// handshake drives initiator (self) and responder (peer) to
-// completion and returns the shared key block. It touches no Manager
-// state, so any number of handshakes to distinct peers run in
-// parallel.
+// handshake establishes a key block with the peer under the retry
+// policy: each attempt is a complete fresh STS run through the peer's
+// carrier, and a failed attempt (lost beyond the transport's recovery
+// budget, or desynchronized into an engine state error) burns one
+// attempt from the budget. It touches only the Manager's atomic
+// counters, so under the default in-process carrier any number of
+// handshakes to distinct peers run in parallel; NetCarriers sharing a
+// transport.World serialize on its conversation lock (and fully
+// deterministic chaos runs additionally need parallelism 1).
 func (m *Manager) handshake(peer *core.Party) ([]byte, error) {
 	if peer == nil || peer.Cert == nil {
 		return nil, errors.New("fleet: peer not provisioned")
 	}
+	carrier, err := m.carrierFor(peer)
+	if err != nil {
+		return nil, err
+	}
+	attempts := m.retry.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			m.hsRetries.Add(1)
+		}
+		key, err := m.attempt(peer, carrier)
+		if err == nil {
+			return key, nil
+		}
+		m.hsFailures.Add(1)
+		lastErr = err
+	}
+	return nil, fmt.Errorf("fleet: handshake failed after %d attempts: %w", attempts, lastErr)
+}
+
+// carrierFor resolves the peer's carrier, defaulting to the lossless
+// in-process exchange.
+func (m *Manager) carrierFor(peer *core.Party) (Carrier, error) {
+	if m.carrier == nil {
+		return directCarrier{}, nil
+	}
+	c, err := m.carrier(peer)
+	if err != nil {
+		return nil, err
+	}
+	if c == nil {
+		return directCarrier{}, nil
+	}
+	return c, nil
+}
+
+// attempt runs one complete STS exchange through the carrier and
+// returns the agreed key block.
+func (m *Manager) attempt(peer *core.Party, carrier Carrier) ([]byte, error) {
 	init, err := core.NewInitiator(m.self, m.opt)
 	if err != nil {
 		return nil, err
@@ -306,26 +384,8 @@ func (m *Manager) handshake(peer *core.Party) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	msg, err := init.Start()
-	if err != nil {
+	if err := carrier.Exchange(init, resp); err != nil {
 		return nil, err
-	}
-	for i := 0; i < 8; i++ {
-		reply, _, err := resp.Handle(msg)
-		if err != nil {
-			return nil, fmt.Errorf("fleet: responder: %w", err)
-		}
-		if reply == nil {
-			break
-		}
-		next, done, err := init.Handle(reply)
-		if err != nil {
-			return nil, fmt.Errorf("fleet: initiator: %w", err)
-		}
-		if done {
-			break
-		}
-		msg = next
 	}
 	keyA, err := init.SessionKey()
 	if err != nil {

@@ -9,12 +9,26 @@
 // wire time of every frame so the prototype harness (Fig. 7) can
 // report the CAN-FD transfer share of the session separately from the
 // cryptographic processing time.
+//
+// An Endpoint runs in one of two modes. The default lockstep mode is
+// the original collision-free prototype: Send transmits every frame
+// back-to-back and trusts the bus to deliver. Reliable mode (see
+// NewReliableEndpoint and World) engages the timer- and
+// retransmission-aware ISO-TP state machines of internal/cantp — N_Bs
+// and N_Cr supervision on the simulated clock, FlowControl
+// Wait/Overflow handling, bounded FirstFrame retransmission with
+// backoff — plus a CRC-32 message trailer that rejects payloads
+// corrupted below the CAN CRC's notice. Link layers whole-message
+// retransmission on top, which is what the handshake retry policies
+// of internal/fleet build on.
 package transport
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"time"
 
 	"repro/internal/canbus"
@@ -23,6 +37,9 @@ import (
 
 // HeaderSize is the application-layer header length.
 const HeaderSize = 4
+
+// ChecksumSize is the length of the optional CRC-32 message trailer.
+const ChecksumSize = 4
 
 // Message is one application-layer session message.
 type Message struct {
@@ -62,92 +79,450 @@ type Stats struct {
 	FramesSent       int
 	PayloadBytesSent int
 	WireTime         time.Duration // bus time consumed by this endpoint's frames
+
+	// Reliability counters (zero in lockstep mode).
+	Retransmits       int // ISO-TP FirstFrame retransmissions (N_Bs expiry)
+	WaitsHonoured     int // FlowControl(Wait) frames honoured while sending
+	MessageResends    int // whole-message resends by Link.Deliver
+	AbortedSends      int // transfers abandoned after exhausting budgets
+	IntegrityDrops    int // reassembled messages failing the CRC-32 trailer
+	ProtocolDrops     int // frames dropped for PCI/sequence violations
+	DuplicateMessages int // consecutive identical messages suppressed
+	FilteredFrames    int // frames rejected by the acceptance filter
+}
+
+// Config parameterizes a reliable endpoint.
+type Config struct {
+	// Sender configures N_Bs supervision, retransmission budget,
+	// backoff and the Wait budget. Zero takes cantp defaults.
+	Sender cantp.SenderConfig
+	// Receiver configures N_Cr supervision, BlockSize/STmin
+	// advertisement and capacity. Zero takes cantp defaults.
+	Receiver cantp.ReceiverConfig
+	// Checksum appends a CRC-32 trailer to every message and rejects
+	// reassembled messages whose trailer does not verify — the
+	// "CRC-collision" corruption class the bit-level CAN CRC model
+	// cannot catch. Both ends of a link must agree.
+	Checksum bool
+	// AcceptID is the hardware acceptance filter: only frames with
+	// this CAN identifier reach the protocol state machines (every
+	// other broadcast on the segment is dropped and counted). 0
+	// accepts everything — correct only for a two-node point-to-point
+	// segment; on a shared segment an unfiltered endpoint would
+	// answer its neighbours' FirstFrames with spoofed FlowControls.
+	AcceptID uint32
+}
+
+// DefaultConfig is the reliable profile used by the chaos harness.
+func DefaultConfig() Config {
+	return Config{
+		Sender:   cantp.DefaultSenderConfig(),
+		Receiver: cantp.ReceiverConfig{},
+		Checksum: true,
+	}
 }
 
 // Endpoint is one session participant attached to a CAN bus node.
 type Endpoint struct {
-	node  *canbus.Node
-	txID  uint32
-	reasm cantp.Reassembler
-	stats Stats
+	node     *canbus.Node
+	txID     uint32
+	reliable bool
+	cfg      Config
+	world    *World
+	clock    *canbus.Clock
+
+	rx      *cantp.Receiver
+	rxBase  cantp.ReceiverStats // counters of receivers retired by Flush
+	sender  *cantp.Sender       // non-nil only inside a reliable Send
+	sendErr error               // terminal FC verdict discovered during Service
+	inbox   []Message
+	lastMsg []byte // last delivered message bytes, for duplicate suppression
+	lastErr error  // deferred service error (lockstep mode only)
+	stats   Stats
 }
 
-// NewEndpoint wraps a bus node. txID is the CAN identifier used for
-// all frames this endpoint transmits.
+// NewEndpoint wraps a bus node in lockstep (original prototype) mode.
+// txID is the CAN identifier used for all frames this endpoint
+// transmits.
 func NewEndpoint(node *canbus.Node, txID uint32) *Endpoint {
-	return &Endpoint{node: node, txID: txID}
+	return &Endpoint{
+		node: node,
+		txID: txID,
+		rx:   cantp.NewReceiver(cantp.ReceiverConfig{}),
+	}
+}
+
+// NewReliableEndpoint wraps a bus node in reliable mode and registers
+// it with the world, whose clock drives every protocol timer.
+func NewReliableEndpoint(w *World, node *canbus.Node, txID uint32, cfg Config) *Endpoint {
+	e := &Endpoint{
+		node:     node,
+		txID:     txID,
+		reliable: true,
+		cfg:      cfg,
+		world:    w,
+		clock:    w.Clock,
+		rx:       cantp.NewReceiver(cfg.Receiver),
+	}
+	w.addEndpoint(e)
+	return e
 }
 
 // Stats returns a snapshot of the endpoint counters.
 func (e *Endpoint) Stats() Stats { return e.stats }
 
-// Send segments the message over ISO-TP and transmits every data frame,
-// returning the cumulative wire time. For multi-frame messages the
-// peer's FlowControl(Continue) is generated by its Poll; its wire time
-// is charged to the peer. Block size 0 (no intermediate flow control)
-// is assumed, matching a two-node point-to-point link.
+// ReceiverStats returns the ISO-TP reassembly counters, cumulative
+// across Flushes.
+func (e *Endpoint) ReceiverStats() cantp.ReceiverStats {
+	return addReceiverStats(e.rxBase, e.rx.Stats())
+}
+
+func addReceiverStats(a, b cantp.ReceiverStats) cantp.ReceiverStats {
+	a.Completed += b.Completed
+	a.Abandoned += b.Abandoned
+	a.Duplicates += b.Duplicates
+	a.Restarts += b.Restarts
+	a.Overflows += b.Overflows
+	a.Waits += b.Waits
+	return a
+}
+
+// Flush discards buffered messages, partial reassembly state and any
+// deferred error — the clean-slate a fresh handshake attempt starts
+// from. Statistics survive.
+func (e *Endpoint) Flush() {
+	for {
+		if _, ok := e.node.Receive(); !ok {
+			break
+		}
+	}
+	e.rxBase = addReceiverStats(e.rxBase, e.rx.Stats())
+	e.rx = cantp.NewReceiver(e.receiverConfig())
+	e.inbox = nil
+	e.lastMsg = nil
+	e.lastErr = nil
+	e.sender = nil
+	e.sendErr = nil
+}
+
+func (e *Endpoint) receiverConfig() cantp.ReceiverConfig {
+	if e.reliable {
+		return e.cfg.Receiver
+	}
+	return cantp.ReceiverConfig{}
+}
+
+// now returns the simulated time (zero without a clock).
+func (e *Endpoint) now() time.Duration { return e.clock.Now() }
+
+// Send transmits a message. In lockstep mode every frame goes out
+// back-to-back, trusting the bus (the original prototype behaviour).
+// In reliable mode the cantp.Sender state machine runs with its
+// timers on the world clock: it waits for FlowControls, honours Wait,
+// paces to STmin, retransmits the FirstFrame with backoff on N_Bs
+// expiry and aborts on Overflow or budget exhaustion. The returned
+// duration is the wire time of every frame actually transmitted,
+// retransmissions included.
 func (e *Endpoint) Send(m Message) (time.Duration, error) {
-	frames, err := cantp.Segment(m.Encode())
+	payload := m.Encode()
+	if e.cfg.Checksum {
+		payload = appendChecksum(payload)
+	}
+	if !e.reliable {
+		return e.sendLockstep(m, payload)
+	}
+
+	s, err := cantp.NewSender(e.cfg.Sender, payload, e.now())
+	if err != nil {
+		return 0, fmt.Errorf("transport: send: %w", err)
+	}
+	e.sender, e.sendErr = s, nil
+	defer func() {
+		st := s.Stats()
+		e.stats.Retransmits += st.Retransmits
+		e.stats.WaitsHonoured += st.WaitsHonoured
+		e.sender = nil
+	}()
+
+	var total time.Duration
+	for !s.Done() {
+		now := e.now()
+		if f := s.Next(now); f != nil {
+			wt, err := e.transmit(f)
+			if err != nil {
+				return total, fmt.Errorf("transport: send frame: %w", err)
+			}
+			total += wt
+			continue
+		}
+		if err := e.takeSendErr(); err != nil {
+			e.stats.AbortedSends++
+			return total, fmt.Errorf("transport: send: %w", err)
+		}
+		// Waiting on a FlowControl or the STmin gate: let the rest of
+		// the world make progress (gateways forward, peers answer, our
+		// own Service feeds FCs to the sender)...
+		moved := e.world.Run()
+		if err := e.takeSendErr(); err != nil {
+			e.stats.AbortedSends++
+			return total, fmt.Errorf("transport: send: %w", err)
+		}
+		if moved > 0 {
+			// Something happened (possibly our FC): re-evaluate the
+			// sender before touching the clock.
+			continue
+		}
+		now = e.now()
+		if at := s.ReadyAt(); at > now {
+			// ...then jump the clock over the pacing gap...
+			e.world.AdvanceTo(at)
+			continue
+		}
+		if s.Deadline() > 0 {
+			// ...or toward the N_Bs deadline one timer at a time,
+			// stopping the moment the awaited FlowControl lands (a
+			// Wait chain re-arms the deadline; a Continue clears it,
+			// and simulated time must not inflate past that point).
+			for s.Deadline() > 0 && e.now() < s.Deadline() {
+				e.world.Step(s.Deadline())
+				if err := e.takeSendErr(); err != nil {
+					e.stats.AbortedSends++
+					return total, fmt.Errorf("transport: send: %w", err)
+				}
+			}
+			if err := s.OnTimeout(e.now()); err != nil {
+				e.stats.AbortedSends++
+				return total, fmt.Errorf("transport: send: %w", err)
+			}
+			continue
+		}
+		if s.Done() {
+			break
+		}
+		return total, errors.New("transport: sender stalled")
+	}
+	e.stats.MessagesSent++
+	e.stats.PayloadBytesSent += len(m.Payload)
+	return total, nil
+}
+
+// takeSendErr consumes a terminal verdict (Overflow, Wait budget)
+// delivered to the sender by Service mid-transfer.
+func (e *Endpoint) takeSendErr() error {
+	err := e.sendErr
+	e.sendErr = nil
+	return err
+}
+
+// sendLockstep is the original collision-free transmit path.
+func (e *Endpoint) sendLockstep(m Message, payload []byte) (time.Duration, error) {
+	frames, err := cantp.Segment(payload)
 	if err != nil {
 		return 0, fmt.Errorf("transport: send: %w", err)
 	}
 	var total time.Duration
-	for _, payload := range frames {
-		wt, err := e.node.Send(canbus.Frame{ID: e.txID, BRS: true, Data: payload})
+	for _, fp := range frames {
+		wt, err := e.transmit(fp)
 		if err != nil {
 			return total, fmt.Errorf("transport: send frame: %w", err)
 		}
 		total += wt
-		e.stats.FramesSent++
 	}
 	e.stats.MessagesSent++
 	e.stats.PayloadBytesSent += len(m.Payload)
-	e.stats.WireTime += total
 	return total, nil
+}
+
+// transmit puts one ISO-TP frame payload on the wire, charging the
+// frame to the endpoint's counters (so FlowControls and the frames of
+// an eventually-aborted transfer are accounted too).
+func (e *Endpoint) transmit(payload []byte) (time.Duration, error) {
+	wt, err := e.node.Send(canbus.Frame{ID: e.txID, BRS: true, Data: payload})
+	if err != nil {
+		return 0, err
+	}
+	e.stats.FramesSent++
+	e.stats.WireTime += wt
+	return wt, nil
+}
+
+// Service drains the receive queue into the protocol state machines:
+// frames failing the acceptance filter are dropped, FlowControls feed
+// the active sender, data frames feed the receiver (answering with
+// FCs as the receiver dictates), completed messages land in the inbox
+// after checksum verification. It also services the receiver's
+// timers. Returns the number of frames processed, as the world pump's
+// progress measure.
+//
+// In lockstep mode the drain stops at the first completed message or
+// protocol error, preserving the original Poll semantics: events
+// surface one per Poll, in queue order.
+func (e *Endpoint) Service() int {
+	processed := 0
+	for {
+		if !e.reliable && (len(e.inbox) > 0 || e.lastErr != nil) {
+			break
+		}
+		frame, ok := e.node.Receive()
+		if !ok {
+			break
+		}
+		processed++
+		if e.cfg.AcceptID != 0 && frame.ID != e.cfg.AcceptID {
+			e.stats.FilteredFrames++
+			continue
+		}
+		now := e.now()
+		if len(frame.Data) > 0 && frame.Data[0]>>4 == 0x3 {
+			e.serviceFlowControl(frame.Data, now)
+			continue
+		}
+		msg, fc, err := e.rx.Push(frame.Data, now)
+		if err != nil {
+			if e.reliable {
+				e.stats.ProtocolDrops++
+			} else {
+				e.lastErr = fmt.Errorf("transport: reassembly: %w", err)
+			}
+			continue
+		}
+		if fc != nil {
+			if _, err := e.transmit(fc); err != nil && !e.reliable {
+				e.lastErr = fmt.Errorf("transport: flow control: %w", err)
+			}
+		}
+		if msg != nil {
+			e.deliver(msg)
+		}
+	}
+	e.expire()
+	return processed
+}
+
+// serviceFlowControl routes an FC frame to the active sender, or
+// validates and discards it when no transfer is in flight.
+func (e *Endpoint) serviceFlowControl(data []byte, now time.Duration) {
+	if e.sender != nil {
+		if err := e.sender.OnFlowControl(data, now); err != nil {
+			// Terminal verdicts surface to the Send loop; malformed
+			// FCs are counted and dropped.
+			if errors.Is(err, cantp.ErrFlowOverflow) || errors.Is(err, cantp.ErrWaitBudget) {
+				e.sendErr = err
+			} else {
+				e.stats.ProtocolDrops++
+			}
+		}
+		return
+	}
+	if _, _, _, err := cantp.ParseFlowControl(data); err != nil {
+		if e.reliable {
+			e.stats.ProtocolDrops++
+		} else {
+			e.lastErr = fmt.Errorf("transport: %w", err)
+		}
+	}
+}
+
+// expire services the receiver's simulated-time obligations: owed
+// Wait-chain FlowControls are transmitted, and N_Cr expiry abandons
+// the partial transfer (counted by the receiver).
+func (e *Endpoint) expire() {
+	for {
+		fc, err := e.rx.Expire(e.now())
+		if fc != nil {
+			e.transmit(fc)
+			continue
+		}
+		_ = err // abandonment is counted in ReceiverStats
+		return
+	}
+}
+
+// nextDeadline exposes the receiver's earliest timer to the world.
+func (e *Endpoint) nextDeadline() time.Duration { return e.rx.Deadline() }
+
+// deliver verifies, decodes and enqueues a reassembled message.
+func (e *Endpoint) deliver(raw []byte) {
+	if e.cfg.Checksum {
+		stripped, ok := verifyChecksum(raw)
+		if !ok {
+			e.stats.IntegrityDrops++
+			return
+		}
+		raw = stripped
+	}
+	if e.reliable && e.lastMsg != nil && bytes.Equal(raw, e.lastMsg) {
+		// A duplicated SingleFrame (or a whole-message resend that
+		// crossed its own reply) delivers the same bytes twice;
+		// surfacing both would desynchronize strict request/response
+		// protocols.
+		e.stats.DuplicateMessages++
+		return
+	}
+	msg, err := DecodeMessage(raw)
+	if err != nil {
+		if e.reliable {
+			e.stats.ProtocolDrops++
+		} else {
+			e.lastErr = err
+		}
+		return
+	}
+	e.lastMsg = append([]byte(nil), raw...)
+	e.inbox = append(e.inbox, msg)
+	e.stats.MessagesReceived++
 }
 
 // ErrNoMessage is returned by Poll when no complete message is pending.
 var ErrNoMessage = errors.New("transport: no complete message available")
 
-// Poll drains the receive queue, feeding frames to the reassembler and
-// answering FirstFrames with FlowControl. It returns the first complete
-// message, or ErrNoMessage when the queue is exhausted without one.
+// Poll services the endpoint and returns the oldest complete message,
+// or ErrNoMessage. In lockstep mode protocol violations surface here
+// as errors (the original behaviour); in reliable mode they are
+// counted and survived.
 func (e *Endpoint) Poll() (Message, error) {
-	for {
-		frame, ok := e.node.Receive()
-		if !ok {
-			return Message{}, ErrNoMessage
-		}
-		// Flow-control frames terminate at this layer.
-		if len(frame.Data) > 0 && frame.Data[0]>>4 == 0x3 {
-			if _, _, _, err := cantp.ParseFlowControl(frame.Data); err != nil {
-				return Message{}, fmt.Errorf("transport: %w", err)
-			}
-			continue
-		}
-		msg, err := e.reasm.Push(frame.Data)
-		if err != nil {
-			return Message{}, fmt.Errorf("transport: reassembly: %w", err)
-		}
-		if e.reasm.FlowControlNeeded() {
-			fc := cantp.FlowControlFrame(cantp.FlowContinue, 0, 0)
-			wt, err := e.node.Send(canbus.Frame{ID: e.txID, BRS: true, Data: fc})
-			if err != nil {
-				return Message{}, fmt.Errorf("transport: flow control: %w", err)
-			}
-			e.stats.FramesSent++
-			e.stats.WireTime += wt
-		}
-		if msg == nil {
-			continue
-		}
-		decoded, err := DecodeMessage(msg)
-		if err != nil {
-			return Message{}, err
-		}
-		e.stats.MessagesReceived++
-		return decoded, nil
+	e.Service()
+	if e.lastErr != nil {
+		err := e.lastErr
+		e.lastErr = nil
+		return Message{}, err
 	}
+	if len(e.inbox) == 0 {
+		return Message{}, ErrNoMessage
+	}
+	msg := e.inbox[0]
+	e.inbox = e.inbox[1:]
+	return msg, nil
+}
+
+// TryPoll is Poll without the error surface: it reports whether a
+// message was available.
+func (e *Endpoint) TryPoll() (Message, bool) {
+	e.Service()
+	if len(e.inbox) == 0 {
+		return Message{}, false
+	}
+	msg := e.inbox[0]
+	e.inbox = e.inbox[1:]
+	return msg, true
+}
+
+// appendChecksum suffixes data with its CRC-32 (IEEE).
+func appendChecksum(data []byte) []byte {
+	out := make([]byte, len(data)+ChecksumSize)
+	copy(out, data)
+	binary.BigEndian.PutUint32(out[len(data):], crc32.ChecksumIEEE(data))
+	return out
+}
+
+// verifyChecksum strips and checks the CRC-32 trailer.
+func verifyChecksum(data []byte) ([]byte, bool) {
+	if len(data) < ChecksumSize {
+		return nil, false
+	}
+	body := data[:len(data)-ChecksumSize]
+	want := binary.BigEndian.Uint32(data[len(body):])
+	return body, crc32.ChecksumIEEE(body) == want
 }
 
 // WireCost returns the total simulated wire time and frame count for

@@ -1,0 +1,191 @@
+package transport
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/canbus"
+	"repro/internal/cantp"
+)
+
+// World is the single-threaded pump for one simulated network
+// topology: the shared clock, every gateway bridging its segments and
+// every reliable endpoint attached to them. Reliable endpoints block
+// inside Send waiting for FlowControls; the world is how that wait
+// makes progress — gateways forward queued frames, peers service
+// their queues and answer, and simulated time only moves through
+// AdvanceTo, stopping at each intermediate protocol timer.
+//
+// A world (and everything attached to it) must be driven from one
+// goroutine at a time; distinct worlds are fully independent. This is
+// the determinism contract of the chaos experiments: one goroutine,
+// one seed, one reproducible fault and recovery trace.
+type World struct {
+	Clock *canbus.Clock
+
+	// mu serializes whole conversations (see Acquire) — the pump
+	// itself stays lock-free and single-threaded by contract.
+	mu sync.Mutex
+
+	gateways  []*canbus.Gateway
+	endpoints []*Endpoint
+}
+
+// Acquire takes the world's conversation lock. Higher-level drivers
+// that may be called from multiple goroutines (fleet.NetCarrier under
+// EstablishAll with parallelism > 1) hold it for a whole exchange, so
+// concurrent handshakes over one fabric serialize instead of racing
+// the unsynchronized endpoints. Determinism still requires a single
+// driving goroutine — serialized-but-racing-for-the-lock fleets are
+// safe, not reproducible.
+func (w *World) Acquire() { w.mu.Lock() }
+
+// Release drops the conversation lock.
+func (w *World) Release() { w.mu.Unlock() }
+
+// NewWorld creates a world around a clock (a nil clock gets created).
+func NewWorld(clock *canbus.Clock) *World {
+	if clock == nil {
+		clock = canbus.NewClock()
+	}
+	return &World{Clock: clock}
+}
+
+// AddGateway registers a gateway with the pump loop.
+func (w *World) AddGateway(g *canbus.Gateway) { w.gateways = append(w.gateways, g) }
+
+func (w *World) addEndpoint(e *Endpoint) { w.endpoints = append(w.endpoints, e) }
+
+// Run pumps gateways and endpoints until the topology is quiescent —
+// no queued frame anywhere that a pump would move. Returns the number
+// of frames moved.
+func (w *World) Run() int {
+	total := 0
+	for {
+		n := 0
+		for _, g := range w.gateways {
+			n += g.Pump()
+		}
+		for _, e := range w.endpoints {
+			n += e.Service()
+		}
+		if n == 0 {
+			return total
+		}
+		total += n
+	}
+}
+
+// nextTimer returns the earliest pending endpoint timer after now, or
+// 0 when none is armed.
+func (w *World) nextTimer(now time.Duration) time.Duration {
+	var min time.Duration
+	for _, e := range w.endpoints {
+		if dl := e.nextDeadline(); dl > now && (min == 0 || dl < min) {
+			min = dl
+		}
+	}
+	return min
+}
+
+// Step moves simulated time forward to the earliest pending endpoint
+// timer (or to t when no timer comes first), fires the due timers and
+// pumps the topology to quiescence. One step, so callers waiting on a
+// protocol event can re-examine their state between timers instead of
+// burning simulated time past the event.
+func (w *World) Step(t time.Duration) {
+	now := w.Clock.Now()
+	if now >= t {
+		return
+	}
+	step := t
+	if nt := w.nextTimer(now); nt > 0 && nt < step {
+		step = nt
+	}
+	w.Clock.AdvanceTo(step)
+	for _, e := range w.endpoints {
+		e.expire()
+	}
+	w.Run()
+}
+
+// AdvanceTo moves simulated time forward to t, stopping at every
+// intermediate endpoint timer so owed FlowControls fire and N_Cr
+// expiries abandon stale transfers in order.
+func (w *World) AdvanceTo(t time.Duration) {
+	for w.Clock.Now() < t {
+		w.Step(t)
+	}
+}
+
+// Link is the retrying message channel between two endpoints of a
+// world: ISO-TP recovers frame-level loss inside Endpoint.Send, and
+// Deliver adds whole-message retransmission on top for the losses
+// ISO-TP cannot see (a lost ConsecutiveFrame abandons the transfer at
+// the receiver with nothing to tell the sender when BlockSize is 0).
+type Link struct {
+	World *World
+
+	// ResponseTimeout bounds the wait for the message to complete at
+	// the destination before a resend (default 2 s simulated).
+	ResponseTimeout time.Duration
+	// MaxResend caps whole-message retransmissions (default 2).
+	MaxResend int
+}
+
+// ErrDeliveryFailed is returned when a message could not be completed
+// at the destination within the resend budget.
+var ErrDeliveryFailed = errors.New("transport: delivery failed after resend budget")
+
+func (l *Link) responseTimeout() time.Duration {
+	if l.ResponseTimeout > 0 {
+		return l.ResponseTimeout
+	}
+	return 2 * time.Second
+}
+
+func (l *Link) maxResend() int {
+	if l.MaxResend > 0 {
+		return l.MaxResend
+	}
+	return 2
+}
+
+// Deliver sends m from src until it completes at dst, resending the
+// whole message (after letting dst's N_Cr lapse clean any partial
+// state) up to MaxResend times. It returns the message as received.
+// Both endpoints must belong to the link's world.
+func (l *Link) Deliver(src, dst *Endpoint, m Message) (Message, error) {
+	var lastErr error
+	for attempt := 0; attempt <= l.maxResend(); attempt++ {
+		if attempt > 0 {
+			src.stats.MessageResends++
+		}
+		if _, err := src.Send(m); err != nil {
+			lastErr = err
+			// An Overflow verdict is a capacity statement, not noise;
+			// resending the same message cannot succeed.
+			if errors.Is(err, cantp.ErrFlowOverflow) {
+				return Message{}, err
+			}
+			continue
+		}
+		l.World.Run()
+		if got, ok := dst.TryPoll(); ok {
+			return got, nil
+		}
+		// Nothing completed: the tail of the transfer died on the
+		// wire. Let the destination's timers lapse so the partial
+		// transfer is abandoned, then resend.
+		l.World.AdvanceTo(l.World.Clock.Now() + l.responseTimeout())
+		if got, ok := dst.TryPoll(); ok {
+			return got, nil
+		}
+		lastErr = ErrDeliveryFailed
+	}
+	if lastErr == nil {
+		lastErr = ErrDeliveryFailed
+	}
+	return Message{}, lastErr
+}
