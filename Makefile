@@ -10,7 +10,7 @@ SHELL := /bin/bash
 BENCH_COMPARE ?= BenchmarkScalarMultAblation|BenchmarkFig3_STSOperations|BenchmarkLiveHandshake
 BENCH_COUNT ?= 5
 
-.PHONY: build test race test-purebig bench bench-smoke bench-compare bench-alloc fmt fmt-check vet lint cover
+.PHONY: build test race test-purebig bench bench-smoke bench-compare bench-alloc bench-scenarios scenario-smoke fuzz-smoke fmt fmt-check vet lint cover
 
 build:
 	$(GO) build ./...
@@ -56,6 +56,34 @@ bench-compare:
 bench-alloc:
 	$(GO) test -run='^$$' -bench='BenchmarkScalarMultAblation' -benchtime=5x -benchmem .
 	$(GO) test -run='TestScalarMultAllocBudget' -v ./internal/ec/
+
+# One small degraded-bus sweep end to end — scenario engine, CLI,
+# JSON writer — then the schema-drift gate on its own output (used by
+# CI; finishes in seconds because all time is simulated).
+scenario-smoke:
+	$(GO) run ./cmd/scenario -name smoke -peers 4 -segments 3 \
+		-sweep drop:0,0.05,0.10 -attempts 10 \
+		-json scenario-smoke.json -csv scenario-smoke.csv
+	$(GO) run ./cmd/scenario -validate scenario-smoke.json
+
+# Regenerate the committed BENCH_scenarios.json trajectory (the
+# canonical degraded-bus curves; simulated time, host-independent).
+bench-scenarios:
+	$(GO) run ./cmd/scenario -name latency-vs-loss -peers 8 \
+		-sweep drop:0,0.02,0.04,0.06,0.08,0.10 -bench BENCH_scenarios.json >/dev/null
+	$(GO) run ./cmd/scenario -name bringup-under-churn -workload churn -peers 8 \
+		-drop 0.03 -corrupt 0.005 -churn-rounds 3 -bench BENCH_scenarios.json >/dev/null
+	$(GO) run ./cmd/scenario -name congested-gateway-bringup -workload bringup -peers 8 \
+		-egress-rate 600 -egress-queue 256 -bench BENCH_scenarios.json >/dev/null
+
+# Brief fuzzing of the protocol parsers (committed corpora under
+# testdata/fuzz replay in every plain `go test` run; this target digs
+# further — used by CI with a short budget, locally run longer).
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test ./internal/cantp -fuzz FuzzReceiverPush -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/cantp -fuzz FuzzFlowControlParse -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/transport -fuzz FuzzMessageTrailer -fuzztime $(FUZZTIME)
 
 fmt:
 	gofmt -w .

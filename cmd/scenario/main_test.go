@@ -1,0 +1,147 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+func TestCLIEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "curve.json")
+	csvPath := filepath.Join(dir, "curve.csv")
+	tracePath := filepath.Join(dir, "trace.txt")
+	benchPath := filepath.Join(dir, "bench.json")
+
+	var out bytes.Buffer
+	err := run([]string{
+		"-name", "cli-test", "-peers", "2", "-segments", "2", "-seed", "7",
+		"-sweep", "drop:0,0.05",
+		"-json", jsonPath, "-csv", csvPath, "-trace", tracePath, "-bench", benchPath,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := scenario.ValidateJSON(data)
+	if err != nil {
+		t.Fatalf("emitted JSON fails the schema gate: %v", err)
+	}
+	if res.Name != "cli-test" || len(res.Points) != 2 {
+		t.Fatalf("unexpected result: %+v", res)
+	}
+	csv, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(strings.TrimSpace(string(csv)), "\n"); lines != 2 {
+		t.Errorf("CSV has %d data lines, want 2", lines)
+	}
+	trace, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(trace), "summary errors=0") {
+		t.Error("trace missing point summary")
+	}
+
+	// The validate mode accepts its own output.
+	out.Reset()
+	if err := run([]string{"-validate", jsonPath}, &out); err != nil {
+		t.Fatalf("-validate rejected fresh output: %v", err)
+	}
+	if !strings.Contains(out.String(), "schema v1 ok") {
+		t.Errorf("validate output: %q", out.String())
+	}
+
+	// Re-running with the same name replaces the bench entry in place.
+	if err := run([]string{
+		"-name", "cli-test", "-peers", "2", "-segments", "2", "-seed", "7",
+		"-json", jsonPath, "-bench", benchPath,
+	}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var doc benchFile
+	raw, err := os.ReadFile(benchPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Scenarios) != 1 || doc.Scenarios[0].Name != "cli-test" {
+		t.Fatalf("bench trajectory wrong: %d entries", len(doc.Scenarios))
+	}
+	if doc.Paper == "" || doc.Methodology == "" {
+		t.Error("bench header incomplete")
+	}
+}
+
+func TestCLIJSONToStdout(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-name", "stdout-test", "-peers", "1", "-segments", "1", "-workload", "bringup"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := scenario.ValidateJSON(out.Bytes()); err != nil {
+		t.Fatalf("stdout JSON invalid: %v", err)
+	}
+}
+
+func TestCLIDelayProfile(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{
+		"-name", "delay-test", "-peers", "1", "-segments", "1",
+		"-delay-rate", "1", "-delay", "1ms",
+	}, &out); err != nil {
+		t.Fatal(err)
+	}
+	res, err := scenario.ValidateJSON(out.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := res.Points[0]; p.Errors != 0 || p.BusDelayed == 0 {
+		t.Fatalf("delay profile did not delay frames: %+v", p)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	var out bytes.Buffer
+	cases := [][]string{
+		{"-peers", "0"},                      // invalid scenario
+		{"-workload", "warp", "-peers", "2"}, // unknown workload
+		{"-sweep", "drop:zero"},              // bad sweep point
+		{"-validate", "/nonexistent/x.json"}, // unreadable file
+		{"-peers", "2", "-workload", "bringup", "-parallelism", "4", "-egress-rate", "100"}, // non-reproducible combination
+	}
+	for _, args := range cases {
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v succeeded", args)
+		}
+	}
+}
+
+func TestParseSweep(t *testing.T) {
+	axis, pts, err := parseSweep("corrupt:0,0.01,0.02")
+	if err != nil || axis != scenario.AxisCorrupt || len(pts) != 3 {
+		t.Fatalf("got %v %v %v", axis, pts, err)
+	}
+	axis, pts, err = parseSweep("0.1,0.2")
+	if err != nil || axis != scenario.AxisDrop || len(pts) != 2 {
+		t.Fatalf("default axis: %v %v %v", axis, pts, err)
+	}
+	if _, _, err := parseSweep("drop:a,b"); err == nil {
+		t.Error("bad points accepted")
+	}
+	if axis, pts, err := parseSweep(""); axis != "" || pts != nil || err != nil {
+		t.Error("empty spec must be a no-op")
+	}
+}

@@ -29,6 +29,7 @@ type Bus struct {
 	impair  *impairState
 	clock   *Clock
 	rxLimit int
+	trace   func(FaultEvent)
 }
 
 // DefaultRxLimit bounds a node's receive queue unless overridden with
@@ -80,8 +81,9 @@ func (b *Bus) SetClock(c *Clock) {
 
 // Impair installs deterministic fault injection on the bus. Installing
 // a zero-rate Impairment (or calling with all rates zero) still resets
-// the decision stream to the seed, so a topology can be re-armed for a
-// reproducibility re-run. ClearImpairment removes injection entirely.
+// the per-identifier occurrence counters the content keys include, so
+// a topology can be re-armed for a reproducibility re-run.
+// ClearImpairment removes injection entirely.
 func (b *Bus) Impair(cfg Impairment) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -93,6 +95,34 @@ func (b *Bus) ClearImpairment() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.impair = nil
+}
+
+// SetFaultTrace installs a hook invoked for every injected fault, in
+// injection order (drop, corrupt, duplicate, delay — a frame can
+// suffer several). The hook runs under the bus lock on the sending
+// goroutine; it must not call back into the bus. A nil hook detaches.
+// Golden-trace tests and the scenario engine's trace recorder use it
+// to commit the exact fault sequence of a seeded run.
+func (b *Bus) SetFaultTrace(fn func(FaultEvent)) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.trace = fn
+}
+
+// emitFault reports one injected fault to the trace hook, if any.
+// Callers hold b.mu.
+func (b *Bus) emitFault(f *Frame, roll impairRoll, kind FaultKind) {
+	if b.trace == nil {
+		return
+	}
+	b.trace(FaultEvent{
+		Time:       b.clock.Now(),
+		BusID:      b.impair.cfg.BusID,
+		FrameID:    f.ID,
+		Extended:   f.Extended,
+		Occurrence: roll.occ,
+		Kind:       kind,
+	})
 }
 
 // SetRxLimit sets the receive-queue bound applied to nodes attached
@@ -167,24 +197,28 @@ func (n *Node) Send(f Frame) (time.Duration, error) {
 	copies := 1
 	var delivered []byte
 	if b.impair != nil {
-		roll := b.impair.roll()
+		roll := b.impair.roll(&f)
 		if roll.drop {
 			b.stats.Dropped++
+			b.emitFault(&f, roll, FaultDrop)
 			return wt, nil
 		}
 		if roll.corrupt {
 			delivered = append([]byte(nil), f.Data...)
 			corruptFrame(delivered, roll)
 			b.stats.Corrupted++
+			b.emitFault(&f, roll, FaultCorrupt)
 		}
 		if roll.duplicate {
 			b.stats.Duplicated++
+			b.emitFault(&f, roll, FaultDuplicate)
 			copies = 2
 		}
 		if roll.delay {
 			b.stats.Delayed++
 			b.stats.DelayTime += b.impair.cfg.Delay
 			b.clock.Advance(b.impair.cfg.Delay)
+			b.emitFault(&f, roll, FaultDelay)
 		}
 	}
 	if delivered == nil {

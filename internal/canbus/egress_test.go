@@ -1,0 +1,190 @@
+package canbus
+
+import (
+	"testing"
+)
+
+// egressPair builds A —GW— B with the gateway's B-side port under the
+// given egress policy and every initiator ID admitted A→B.
+func egressPair(t *testing.T, clock *Clock, p EgressPolicy) (srcBus, dstBus *Bus, gw *Gateway, src, dst *Node) {
+	t.Helper()
+	srcBus = NewBus(PrototypeRates)
+	dstBus = NewBus(PrototypeRates)
+	srcBus.SetClock(clock)
+	dstBus.SetClock(clock)
+	gw = NewGateway("gw", clock)
+	if err := gw.Route(srcBus, dstBus, IDRange(0x100, 0x1FF), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := gw.SetEgress(dstBus, p); err != nil {
+		t.Fatal(err)
+	}
+	src = srcBus.Attach("src")
+	dst = dstBus.Attach("dst")
+	return
+}
+
+func TestEgressRateLimitBacksUp(t *testing.T) {
+	clock := NewClock()
+	// 100 frames/s: one frame every 10 ms — far slower than the wire.
+	_, dstBus, gw, src, dst := egressPair(t, clock, EgressPolicy{Rate: 100})
+
+	for i := 0; i < 5; i++ {
+		if _, err := src.Send(Frame{ID: 0x100, BRS: true, Data: []byte{byte(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gw.Pump()
+	// The first frame leaves immediately; four remain gated.
+	if dst.Pending() != 1 {
+		t.Fatalf("dst holds %d frames after first pump, want 1", dst.Pending())
+	}
+	if got := gw.EgressBacklog(dstBus); got != 4 {
+		t.Fatalf("egress backlog %d, want 4", got)
+	}
+	dl := gw.NextDeadline()
+	if dl <= clock.Now() {
+		t.Fatalf("deadline %v not in the future (now %v)", dl, clock.Now())
+	}
+	// Pumping without advancing time releases nothing.
+	if moved := gw.Pump(); moved != 0 {
+		t.Fatalf("pump moved %d frames with the gate closed", moved)
+	}
+	// Advancing to each deadline releases exactly one more frame.
+	for want := 2; want <= 5; want++ {
+		clock.AdvanceTo(gw.NextDeadline())
+		gw.Pump()
+		if dst.Pending() != want {
+			t.Fatalf("dst holds %d frames, want %d", dst.Pending(), want)
+		}
+	}
+	if gw.Stats().Forwarded != 5 {
+		t.Errorf("forwarded %d, want 5", gw.Stats().Forwarded)
+	}
+	if gw.EgressBacklog(dstBus) != 0 {
+		t.Errorf("backlog %d after full drain", gw.EgressBacklog(dstBus))
+	}
+}
+
+func TestEgressOverflowDeterministic(t *testing.T) {
+	run := func() (delivered, dropped int) {
+		clock := NewClock()
+		_, _, gw, src, dst := egressPair(t, clock, EgressPolicy{Rate: 1, Queue: 3})
+		for i := 0; i < 10; i++ {
+			if _, err := src.Send(Frame{ID: 0x100, BRS: true, Data: []byte{byte(i)}}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		gw.Pump()
+		return dst.Pending(), gw.Stats().EgressDropped
+	}
+	d1, o1 := run()
+	d2, o2 := run()
+	if d1 != d2 || o1 != o2 {
+		t.Fatalf("overflow accounting not deterministic: (%d,%d) vs (%d,%d)", d1, o1, d2, o2)
+	}
+	// Three frames fill the queue, seven drop at the full queue, and
+	// the release phase lets exactly one out at t=0.
+	if d1 != 1 || o1 != 7 {
+		t.Fatalf("delivered %d dropped %d, want 1 and 7", d1, o1)
+	}
+}
+
+// TestEgressStarvedPortKeepsPerIDOrder: a rate-starved port must
+// deliver frames of one CAN identifier in their transmit order — the
+// FIFO egress queue may delay but never reorder a conversation.
+func TestEgressStarvedPortKeepsPerIDOrder(t *testing.T) {
+	clock := NewClock()
+	_, _, gw, src, dst := egressPair(t, clock, EgressPolicy{Rate: 50})
+	// Interleave two conversations through the starved port.
+	for i := 0; i < 8; i++ {
+		id := uint32(0x110)
+		if i%2 == 1 {
+			id = 0x120
+		}
+		if _, err := src.Send(Frame{ID: id, BRS: true, Data: []byte{byte(i / 2)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Drain completely, stepping time to each release.
+	for {
+		gw.Pump()
+		dl := gw.NextDeadline()
+		if dl == 0 {
+			break
+		}
+		clock.AdvanceTo(dl)
+	}
+	last := map[uint32]int{0x110: -1, 0x120: -1}
+	seen := 0
+	for {
+		f, ok := dst.Receive()
+		if !ok {
+			break
+		}
+		seen++
+		if got, prev := int(f.Data[0]), last[f.ID]; got != prev+1 {
+			t.Fatalf("ID %#x delivered seq %d after %d — reordered", f.ID, got, prev)
+		} else {
+			last[f.ID] = got
+		}
+	}
+	if seen != 8 {
+		t.Fatalf("delivered %d of 8 frames", seen)
+	}
+}
+
+// TestEgressQueueWithoutRateIsInert: a queue bound without a rate
+// limit never engages — an unlimited-rate port transmits within the
+// pump that drained it, so there is no backlog to bound and nothing
+// may be dropped.
+func TestEgressQueueWithoutRateIsInert(t *testing.T) {
+	clock := NewClock()
+	_, dstBus, gw, src, dst := egressPair(t, clock, EgressPolicy{Queue: 2})
+	for i := 0; i < 10; i++ {
+		if _, err := src.Send(Frame{ID: 0x100, BRS: true, Data: []byte{byte(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gw.Pump()
+	if dst.Pending() != 10 {
+		t.Fatalf("queue-only policy delivered %d of 10 frames", dst.Pending())
+	}
+	if s := gw.Stats(); s.EgressDropped != 0 {
+		t.Fatalf("queue-only policy dropped %d frames on an unlimited-rate port", s.EgressDropped)
+	}
+	if gw.EgressBacklog(dstBus) != 0 || gw.NextDeadline() != 0 {
+		t.Error("queue-only policy left egress state behind")
+	}
+}
+
+// TestEgressZeroPolicyIsTransparent: the zero policy must behave
+// exactly like the pre-egress gateway.
+func TestEgressZeroPolicyIsTransparent(t *testing.T) {
+	clock := NewClock()
+	_, dstBus, gw, src, dst := egressPair(t, clock, EgressPolicy{})
+	for i := 0; i < 4; i++ {
+		if _, err := src.Send(Frame{ID: 0x100, Data: []byte{byte(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gw.Pump()
+	if dst.Pending() != 4 || gw.EgressBacklog(dstBus) != 0 || gw.NextDeadline() != 0 {
+		t.Fatalf("zero policy gated traffic: pending %d backlog %d deadline %v",
+			dst.Pending(), gw.EgressBacklog(dstBus), gw.NextDeadline())
+	}
+}
+
+func TestEgressPolicyValidation(t *testing.T) {
+	gw := NewGateway("gw", nil)
+	bus := NewBus(PrototypeRates)
+	if err := gw.SetEgress(nil, EgressPolicy{}); err == nil {
+		t.Error("nil bus accepted")
+	}
+	if err := gw.SetEgress(bus, EgressPolicy{Rate: -1}); err == nil {
+		t.Error("negative rate accepted")
+	}
+	if err := gw.SetEgress(bus, EgressPolicy{Queue: -1}); err == nil {
+		t.Error("negative queue accepted")
+	}
+}

@@ -36,14 +36,53 @@ type Gateway struct {
 
 // GatewayStats counts forwarding activity.
 type GatewayStats struct {
-	Forwarded int           // frames re-transmitted onto another segment
-	Filtered  int           // frames drained but admitted by no route
-	StoreTime time.Duration // cumulative store-and-forward latency
+	Forwarded     int           // frames re-transmitted onto another segment
+	Filtered      int           // frames drained but admitted by no route
+	StoreTime     time.Duration // cumulative store-and-forward latency
+	EgressDropped int           // frames lost to a full egress queue
+}
+
+// EgressPolicy models a congested gateway port: a transmit rate limit
+// and a bounded egress queue. The zero policy is the uncongested
+// default — frames are re-transmitted within the pump that drained
+// them, exactly the pre-egress behaviour.
+type EgressPolicy struct {
+	// Rate caps frames per simulated second leaving this port; 0 means
+	// unlimited. A rate-limited port holds admitted frames in its
+	// egress queue and releases them on the simulated clock, one every
+	// 1/Rate seconds.
+	Rate float64
+	// Queue bounds the egress backlog of a rate-limited port; a frame
+	// admitted by a route while the queue is full is dropped and
+	// counted in EgressDropped. 0 means unbounded. Without a rate
+	// limit the bound is inert — an unlimited-rate port transmits
+	// within the pump that drained it and never builds a backlog.
+	Queue int
+}
+
+// limited reports whether the policy gates transmission at all. Only
+// a rate limit gates: a queue bound alone never engages, because an
+// unlimited-rate port has no backlog to bound.
+func (p EgressPolicy) limited() bool { return p.Rate > 0 }
+
+// gap returns the per-frame serialization interval of the rate limit.
+func (p EgressPolicy) gap() time.Duration {
+	if p.Rate <= 0 {
+		return 0
+	}
+	return time.Duration(float64(time.Second) / p.Rate)
 }
 
 type gatewayPort struct {
 	bus  *Bus
 	node *Node
+
+	// Egress state: FIFO queue (same-ID frame order is preserved by
+	// construction, even under starvation), the policy, and the
+	// earliest simulated time the next queued frame may leave.
+	policy   EgressPolicy
+	egress   []Frame
+	nextTxAt time.Duration
 }
 
 type gatewayRoute struct {
@@ -80,6 +119,36 @@ func (g *Gateway) port(bus *Bus) *gatewayPort {
 	return p
 }
 
+// SetEgress installs an egress policy on the gateway's port for a
+// bus (attaching the port on demand), modelling a congested central
+// gateway whose outbound link to that segment backs up. The zero
+// policy restores immediate forwarding.
+func (g *Gateway) SetEgress(bus *Bus, p EgressPolicy) error {
+	if bus == nil {
+		return errors.New("canbus: egress policy needs a bus")
+	}
+	if p.Rate < 0 || p.Queue < 0 {
+		return errors.New("canbus: negative egress policy")
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.port(bus).policy = p
+	return nil
+}
+
+// EgressBacklog returns the number of frames queued on the port for a
+// bus (0 when the port does not exist or is uncongested).
+func (g *Gateway) EgressBacklog(bus *Bus) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, p := range g.ports {
+		if p.bus == bus {
+			return len(p.egress)
+		}
+	}
+	return 0
+}
+
 // Route adds a one-way forwarding rule: frames heard on from whose
 // identifier passes filter (nil admits everything) are re-transmitted
 // on to, after latency of store-and-forward delay. Call twice with
@@ -106,23 +175,27 @@ func (g *Gateway) Route(from, to *Bus, filter func(Frame) bool, latency time.Dur
 	return nil
 }
 
-// Pump drains every port and forwards matching frames, returning the
-// number of frames drained (forwarded or filtered). Callers loop until
-// it returns 0 to reach quiescence; a frame forwarded onto a segment
-// watched by another gateway is picked up by that gateway's next Pump,
-// so chained segments need a pump loop over all gateways (see
-// transport.World).
+// Pump drains every port, forwards (or egress-queues) matching frames
+// and releases rate-gated egress frames that are due on the simulated
+// clock. It returns the number of frames moved — drained from a port
+// or released from an egress queue. Callers loop until it returns 0 to
+// reach quiescence; a frame forwarded onto a segment watched by
+// another gateway is picked up by that gateway's next Pump, so chained
+// segments need a pump loop over all gateways (see transport.World).
+// Frames still gated behind a rate limit do not count as movement;
+// their release time is exposed through NextDeadline so the world's
+// timer loop can advance to it.
 func (g *Gateway) Pump() int {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	drained := 0
+	moved := 0
 	for _, p := range g.ports {
 		for {
 			f, ok := p.node.Receive()
 			if !ok {
 				break
 			}
-			drained++
+			moved++
 			matched := false
 			for _, r := range g.routes {
 				if r.from != p {
@@ -134,16 +207,79 @@ func (g *Gateway) Pump() int {
 				matched = true
 				g.stats.StoreTime += r.latency
 				g.clock.Advance(r.latency)
-				if _, err := r.to.node.Send(f); err == nil {
-					g.stats.Forwarded++
-				}
+				g.emit(r.to, f)
 			}
 			if !matched {
 				g.stats.Filtered++
 			}
 		}
 	}
-	return drained
+	for _, p := range g.ports {
+		moved += g.drainEgress(p)
+	}
+	return moved
+}
+
+// emit puts a routed frame onto the destination port: straight to the
+// wire on an uncongested port, or into the egress queue (dropping on
+// overflow) when a policy gates the port.
+func (g *Gateway) emit(p *gatewayPort, f Frame) {
+	if !p.policy.limited() {
+		if _, err := p.node.Send(f); err == nil {
+			g.stats.Forwarded++
+		}
+		return
+	}
+	if p.policy.Queue > 0 && len(p.egress) >= p.policy.Queue {
+		g.stats.EgressDropped++
+		return
+	}
+	p.egress = append(p.egress, f)
+}
+
+// drainEgress releases queued frames that are due at the current
+// simulated time, charging the rate limit's serialization gap between
+// releases. Returns the number of frames released.
+func (g *Gateway) drainEgress(p *gatewayPort) int {
+	sent := 0
+	now := g.clock.Now()
+	for len(p.egress) > 0 && p.nextTxAt <= now {
+		f := p.egress[0]
+		p.egress = p.egress[1:]
+		if _, err := p.node.Send(f); err == nil {
+			g.stats.Forwarded++
+		}
+		sent++
+		next := p.nextTxAt
+		if now > next {
+			next = now
+		}
+		p.nextTxAt = next + p.policy.gap()
+		if p.policy.gap() == 0 {
+			p.nextTxAt = 0
+		}
+		now = g.clock.Now()
+	}
+	return sent
+}
+
+// NextDeadline returns the earliest simulated time a rate-gated egress
+// frame becomes releasable, or 0 when no port holds a gated frame. The
+// world's timer loop (transport.World.Step) treats it like a protocol
+// timer: time advances to it, then the pump releases the frame.
+func (g *Gateway) NextDeadline() time.Duration {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var min time.Duration
+	for _, p := range g.ports {
+		if len(p.egress) == 0 {
+			continue
+		}
+		if min == 0 || p.nextTxAt < min {
+			min = p.nextTxAt
+		}
+	}
+	return min
 }
 
 // IDRange returns a frame filter admitting identifiers in [lo, hi].

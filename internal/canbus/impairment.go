@@ -1,13 +1,32 @@
 package canbus
 
-import "time"
+import (
+	"time"
+
+	"repro/internal/detrand"
+)
 
 // Impairment configures deterministic frame-level fault injection on a
-// bus. Rates are independent per-frame probabilities in [0, 1]; all
-// decisions come from a private splitmix64 stream seeded by Seed, so a
-// run with the same seed and the same transmit order reproduces the
-// exact same faults (the chaos experiments serialize their transmit
-// order for this reason).
+// bus. Rates are independent per-frame probabilities in [0, 1].
+//
+// Fault decisions are content-keyed: each transmitted frame's fate is
+// a pure function of (Seed, BusID, CAN identifier, payload bytes, and
+// an occurrence counter scoped to this bus and identifier), mixed
+// through splitmix64. Nothing depends on the global transmit order, so
+// interleaving independent conversations — frames with distinct CAN
+// identifiers — in any order yields the exact same fault set. That is
+// what lets concurrent fleet bring-ups (EstablishAll with
+// parallelism > 1) reproduce bit-for-bit under a fixed seed: each
+// conversation owns its identifiers, so its fault stream is immune to
+// how the scheduler interleaves the others.
+//
+// The per-(bus, identifier) occurrence counter serves two purposes:
+// a retransmitted frame with identical content gets a fresh,
+// independent decision (a dropped FirstFrame is not dropped forever),
+// and two content-identical frames in one stream do not share a fate.
+// Frames sharing one identifier keep their relative order on a real
+// bus (one transmitter per ID, CAN arbitration per ID), so counting
+// occurrences per (bus, ID) stays deterministic under concurrency.
 //
 // The fault model follows what a real CAN-FD segment can do to a
 // frame:
@@ -28,6 +47,12 @@ import "time"
 type Impairment struct {
 	Seed uint64
 
+	// BusID salts the content key per segment, so one profile with one
+	// seed applied to every segment of a topology still yields
+	// independent per-bus fault streams. Callers that instead derive a
+	// distinct Seed per bus may leave it zero.
+	BusID uint64
+
 	Drop      float64 // probability a frame is lost on the wire
 	Corrupt   float64 // probability a delivered frame has a bit flipped
 	Duplicate float64 // probability a frame is delivered twice
@@ -36,8 +61,51 @@ type Impairment struct {
 	Delay time.Duration // extra latency charged per delayed frame
 }
 
+// FaultKind classifies one injected fault.
+type FaultKind uint8
+
+// Fault kinds, in the order Send evaluates them.
+const (
+	FaultDrop FaultKind = iota
+	FaultCorrupt
+	FaultDuplicate
+	FaultDelay
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultDrop:
+		return "drop"
+	case FaultCorrupt:
+		return "corrupt"
+	case FaultDuplicate:
+		return "duplicate"
+	case FaultDelay:
+		return "delay"
+	}
+	return "unknown"
+}
+
+// FaultEvent describes one injected fault, emitted through the trace
+// hook installed with Bus.SetFaultTrace. Time is the simulated clock
+// after the frame's wire occupancy; Occurrence is the frame's index
+// among frames with the same identifier (FrameID plus Extended — a
+// 29-bit identifier is distinct from the equal-valued 11-bit one) on
+// this bus since the impairment was (re-)armed. Together with BusID
+// and the identifier it names the fault decision uniquely, which is
+// what the golden-trace regression tests diff.
+type FaultEvent struct {
+	Time       time.Duration
+	BusID      uint64
+	FrameID    uint32
+	Extended   bool
+	Occurrence uint64
+	Kind       FaultKind
+}
+
 // impairRoll is one per-frame fault decision.
 type impairRoll struct {
+	occ        uint64 // occurrence index the decision was keyed with
 	drop       bool
 	corrupt    bool
 	corruptPos uint64 // bit index selector within the payload
@@ -45,41 +113,86 @@ type impairRoll struct {
 	delay      bool
 }
 
-// impairState is the seeded decision stream. It always draws the same
-// number of variates per frame, so a frame's fate depends only on its
-// position in the transmit order, never on the configured rates of
-// earlier frames.
+// impairState holds the content-keyed decision state: the profile and
+// the per-identifier occurrence counters. Re-arming (Bus.Impair)
+// resets the counters, so a topology can be re-run reproducibly.
 type impairState struct {
-	cfg   Impairment
-	state uint64
+	cfg Impairment
+	occ map[uint64]uint64 // keyed by wireID: bare ID plus extended bit
 }
 
 func newImpairState(cfg Impairment) *impairState {
-	return &impairState{cfg: cfg, state: cfg.Seed ^ 0x9E3779B97F4A7C15}
+	return &impairState{cfg: cfg, occ: make(map[uint64]uint64)}
 }
 
-// next is splitmix64: tiny, seedable and plenty for fault injection.
-func (s *impairState) next() uint64 {
-	s.state += 0x9E3779B97F4A7C15
-	z := s.state
-	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
-	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
-	return z ^ (z >> 31)
+// wireID is the occurrence-counter and hash key for an identifier: a
+// 29-bit extended identifier is a different identifier than the
+// equal-valued 11-bit one, so the extended bit is part of the key —
+// otherwise two such conversations would share a counter and their
+// interleaving would leak into each other's fault decisions.
+func wireID(f *Frame) uint64 {
+	id := uint64(f.ID)
+	if f.Extended {
+		id |= 1 << 32
+	}
+	return id
+}
+
+// frameKey hashes the frame's content into the 64-bit seed of its
+// private decision stream. Every input that identifies the frame —
+// bus, identifier (with the extended bit), payload bytes, length and
+// occurrence index — is absorbed through the splitmix64 finalizer.
+func (s *impairState) frameKey(f *Frame, occ uint64) uint64 {
+	h := s.cfg.Seed ^ detrand.Golden
+	h = detrand.Mix64(h ^ s.cfg.BusID)
+	h = detrand.Mix64(h ^ wireID(f))
+	h = detrand.Mix64(h ^ occ)
+	var chunk uint64
+	var nb uint
+	for _, b := range f.Data {
+		chunk |= uint64(b) << nb
+		nb += 8
+		if nb == 64 {
+			h = detrand.Mix64(h ^ chunk)
+			chunk, nb = 0, 0
+		}
+	}
+	if nb > 0 {
+		h = detrand.Mix64(h ^ chunk)
+	}
+	return detrand.Mix64(h ^ uint64(len(f.Data)))
+}
+
+// decisionStream draws the fixed set of per-frame variates from a
+// splitmix64 sequence seeded by the frame key.
+type decisionStream struct{ state uint64 }
+
+func (s *decisionStream) next() uint64 {
+	s.state += detrand.Golden
+	return detrand.Mix64(s.state)
 }
 
 // uniform returns the next variate in [0, 1).
-func (s *impairState) uniform() float64 {
+func (s *decisionStream) uniform() float64 {
 	return float64(s.next()>>11) / float64(1<<53)
 }
 
-// roll draws the complete fault decision for one frame.
-func (s *impairState) roll() impairRoll {
+// roll draws the complete fault decision for one frame, advancing the
+// frame's (bus, identifier) occurrence counter. The stream always
+// draws the same number of variates, so a decision depends only on the
+// frame key, never on the configured rates.
+func (s *impairState) roll(f *Frame) impairRoll {
+	key := wireID(f)
+	occ := s.occ[key]
+	s.occ[key] = occ + 1
+	g := decisionStream{state: s.frameKey(f, occ)}
 	var r impairRoll
-	r.drop = s.uniform() < s.cfg.Drop
-	r.corrupt = s.uniform() < s.cfg.Corrupt
-	r.corruptPos = s.next()
-	r.duplicate = s.uniform() < s.cfg.Duplicate
-	r.delay = s.uniform() < s.cfg.DelayRate
+	r.occ = occ
+	r.drop = g.uniform() < s.cfg.Drop
+	r.corrupt = g.uniform() < s.cfg.Corrupt
+	r.corruptPos = g.next()
+	r.duplicate = g.uniform() < s.cfg.Duplicate
+	r.delay = g.uniform() < s.cfg.DelayRate
 	return r
 }
 

@@ -109,6 +109,21 @@ func (p *Party) Clone() *Party {
 	}
 }
 
+// CloneWithRand returns a credential copy drawing ephemeral
+// randomness from rng, sharing the receiver's key cache (a pure,
+// concurrency-safe memo, so sharing changes no observable protocol
+// behaviour). Deterministic concurrent experiments use it to give
+// each handshake attempt a private randomness stream: parties
+// provisioned from one Network otherwise share the network rng, whose
+// draw order — and therefore every ephemeral — would depend on
+// goroutine scheduling.
+func (p *Party) CloneWithRand(rng io.Reader) *Party {
+	q := p.Clone()
+	q.Rand = rng
+	q.cache.Store(p.KeyCache())
+	return q
+}
+
 // Field is one named datum inside a wire message, sized exactly as the
 // paper's Table II accounts it.
 type Field struct {

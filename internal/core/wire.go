@@ -24,6 +24,16 @@ const (
 var labelToCode = map[string]byte{"A1": wireA1, "B1": wireB1, "A2": wireA2, "B2": wireB2}
 var codeToLabel = map[byte]string{wireA1: "A1", wireB1: "B1", wireA2: "A2", wireB2: "B2"}
 
+// StepLabel maps a wire step code — the first byte of every handshake
+// message, which the session transport carries as its OpCode — to the
+// Table II step label ("A1", "B1", "A2", "B2"). ok is false for codes
+// outside the STS protocol. The degraded-bus measurement workloads use
+// it to attribute retransmission overhead to protocol steps.
+func StepLabel(code byte) (label string, ok bool) {
+	label, ok = codeToLabel[code]
+	return label, ok
+}
+
 // stsLayout returns the field layout of an STS step for a curve and
 // optimization level. It must agree with STS.Spec.
 func stsLayout(curve *ec.Curve, opt STSOptimization, label string) ([]FieldSpec, error) {

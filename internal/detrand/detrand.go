@@ -1,0 +1,53 @@
+// Package detrand is the shared deterministic-randomness kernel of
+// the simulation: the splitmix64 finalizer the content-keyed bus
+// impairment hashes with, and seeded byte streams for per-party
+// protocol ephemerals in reproducible experiments. Everything that
+// participates in the cross-package determinism story — content-keyed
+// faults in canbus, derived randomness streams in the scenario engine
+// and the chaos tests — uses this one implementation, so the pieces
+// cannot drift apart bit-wise. Not cryptographic: the experiments
+// measure cost, not security margins.
+package detrand
+
+import "io"
+
+// Golden is the splitmix64 increment (2^64/φ, odd).
+const Golden = 0x9E3779B97F4A7C15
+
+// Mix64 is the splitmix64 finalizer: a cheap, well-distributed 64-bit
+// permutation used both as a hash-absorption step and as the output
+// function of the Reader stream.
+func Mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// DeriveSeed hashes a byte label and integer salts into one stream
+// seed; deterministic in its arguments.
+func DeriveSeed(seed uint64, label []byte, salts ...uint64) uint64 {
+	h := seed ^ Golden
+	for _, b := range label {
+		h = Mix64(h ^ uint64(b))
+	}
+	for _, s := range salts {
+		h = Mix64(h ^ s)
+	}
+	return h
+}
+
+// Reader streams splitmix64 output as bytes.
+type Reader struct{ state uint64 }
+
+// NewReader returns a deterministic byte stream for the seed.
+func NewReader(seed uint64) io.Reader { return &Reader{state: seed} }
+
+func (r *Reader) Read(p []byte) (int, error) {
+	for i := range p {
+		if i%8 == 0 {
+			r.state += Golden
+		}
+		p[i] = byte(Mix64(r.state) >> (8 * (i % 8)))
+	}
+	return len(p), nil
+}

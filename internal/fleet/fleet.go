@@ -21,6 +21,7 @@ package fleet
 import (
 	"errors"
 	"fmt"
+	"io"
 	"sync"
 	"sync/atomic"
 
@@ -63,6 +64,7 @@ type Manager struct {
 	policy  session.Policy
 	retry   RetryPolicy
 	carrier CarrierFactory
+	hsRand  HandshakeRand
 
 	shards [numShards]shard
 
@@ -138,6 +140,23 @@ func (m *Manager) SetRetryPolicy(p RetryPolicy) { m.retry = p }
 // (or a nil carrier returned for a peer) falls back to the in-process
 // lossless exchange.
 func (m *Manager) SetCarrier(f CarrierFactory) { m.carrier = f }
+
+// HandshakeRand derives the initiator-side ephemeral randomness for
+// one handshake attempt. Returning nil keeps the local party's
+// default stream for that attempt.
+type HandshakeRand func(peer ecqv.ID, attempt int) io.Reader
+
+// SetHandshakeRand makes every handshake attempt draw its
+// initiator-side ephemerals from a per-(peer, attempt) stream instead
+// of the local party's shared one. This is the determinism half of
+// reproducible concurrent chaos runs: with content-keyed bus faults
+// and per-attempt randomness, EstablishAll with any parallelism
+// produces the same fault and recovery trace under one seed, because
+// no conversation's bytes depend on how the scheduler interleaved the
+// others. The factory must be deterministic in its arguments; the
+// local key cache is shared across attempts, so cache behaviour is
+// unchanged.
+func (m *Manager) SetHandshakeRand(f HandshakeRand) { m.hsRand = f }
 
 // peerEntry returns the peer's state, creating it when create is set.
 func (m *Manager) peerEntry(id ecqv.ID, create bool) *peerState {
@@ -328,8 +347,9 @@ func (m *Manager) Stats() Stats {
 // attempt from the budget. It touches only the Manager's atomic
 // counters, so under the default in-process carrier any number of
 // handshakes to distinct peers run in parallel; NetCarriers sharing a
-// transport.World serialize on its conversation lock (and fully
-// deterministic chaos runs additionally need parallelism 1).
+// transport.World serialize whole attempts on its conversation lock.
+// With content-keyed bus impairment and SetHandshakeRand installed,
+// concurrent chaos runs reproduce bit-for-bit at any parallelism.
 func (m *Manager) handshake(peer *core.Party) ([]byte, error) {
 	if peer == nil || peer.Cert == nil {
 		return nil, errors.New("fleet: peer not provisioned")
@@ -347,7 +367,7 @@ func (m *Manager) handshake(peer *core.Party) ([]byte, error) {
 		if attempt > 0 {
 			m.hsRetries.Add(1)
 		}
-		key, err := m.attempt(peer, carrier)
+		key, err := m.attempt(peer, carrier, attempt)
 		if err == nil {
 			return key, nil
 		}
@@ -375,8 +395,14 @@ func (m *Manager) carrierFor(peer *core.Party) (Carrier, error) {
 
 // attempt runs one complete STS exchange through the carrier and
 // returns the agreed key block.
-func (m *Manager) attempt(peer *core.Party, carrier Carrier) ([]byte, error) {
-	init, err := core.NewInitiator(m.self, m.opt)
+func (m *Manager) attempt(peer *core.Party, carrier Carrier, attempt int) ([]byte, error) {
+	self := m.self
+	if m.hsRand != nil {
+		if rng := m.hsRand(peer.ID, attempt); rng != nil {
+			self = m.self.CloneWithRand(rng)
+		}
+	}
+	init, err := core.NewInitiator(self, m.opt)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,107 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteJSON emits the result as indented JSON.
+func WriteJSON(w io.Writer, r *Result) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// csvHeader is the flattened curve schema — one row per sweep point;
+// the per-step breakdown stays in the JSON form.
+var csvHeader = []string{
+	"name", "workload", "axis", "value", "errors", "handshakes",
+	"latency_mean_us", "latency_p50_us", "latency_min_us", "latency_max_us",
+	"workload_time_us", "retries", "failed_attempts", "retransmits",
+	"message_resends", "integrity_drops", "protocol_drops",
+	"bus_dropped", "bus_corrupted", "bus_duplicated", "bus_delayed", "rx_overflow",
+	"gateway_forwarded", "gateway_egress_dropped", "sim_time_us",
+}
+
+// WriteCSV emits the result's points as a flat CSV curve (RFC 4180
+// quoting via encoding/csv, so commas in scenario names stay intact).
+func WriteCSV(w io.Writer, r *Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) }
+	n := strconv.Itoa
+	for _, p := range r.Points {
+		lat := LatencyStats{}
+		if p.Latency != nil {
+			lat = *p.Latency
+		}
+		row := []string{
+			r.Name, string(r.Workload), string(p.Axis), strconv.FormatFloat(p.Value, 'f', 4, 64),
+			n(p.Errors), n(p.Handshakes),
+			f(lat.MeanUS), f(lat.P50US), f(lat.MinUS), f(lat.MaxUS),
+			f(p.WorkloadTimeUS), n(p.Retries), n(p.FailedAttempts), n(p.Retransmits),
+			n(p.MessageResends), n(p.IntegrityDrops), n(p.ProtocolDrops),
+			n(p.BusDropped), n(p.BusCorrupted), n(p.BusDuplicated), n(p.BusDelayed), n(p.RxOverflow),
+			n(p.GatewayForwarded), n(p.GatewayEgressDropped), f(p.SimTimeUS),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ValidateJSON is the schema-drift gate used by the CI smoke job: it
+// re-decodes an emitted result with unknown fields forbidden (so an
+// extra field in the file fails loudly) and checks the structural
+// invariants a consumer of the curve relies on (so a missing or
+// renamed field fails too). It returns the decoded result on success.
+func ValidateJSON(data []byte) (*Result, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var r Result
+	if err := dec.Decode(&r); err != nil {
+		return nil, fmt.Errorf("scenario: schema drift: %w", err)
+	}
+	if r.SchemaVersion != SchemaVersion {
+		return nil, fmt.Errorf("scenario: schema version %d, tool expects %d", r.SchemaVersion, SchemaVersion)
+	}
+	if r.Name == "" {
+		return nil, fmt.Errorf("scenario: result has no name")
+	}
+	switch r.Workload {
+	case WorkloadLatency, WorkloadBringup, WorkloadChurn:
+	default:
+		return nil, fmt.Errorf("scenario: unknown workload %q", r.Workload)
+	}
+	if len(r.Points) == 0 {
+		return nil, fmt.Errorf("scenario: result has no points")
+	}
+	for i, p := range r.Points {
+		if p.Axis == "" {
+			return nil, fmt.Errorf("scenario: point %d has no axis", i)
+		}
+		if p.Handshakes == 0 && p.Errors == 0 {
+			return nil, fmt.Errorf("scenario: point %d measured nothing", i)
+		}
+		if r.Workload == WorkloadLatency && p.Errors < r.Peers && p.Latency == nil {
+			return nil, fmt.Errorf("scenario: latency point %d has no latency stats", i)
+		}
+		if p.Handshakes > 0 && len(p.Steps) == 0 {
+			return nil, fmt.Errorf("scenario: point %d has no per-step accounting", i)
+		}
+		for _, sc := range p.Steps {
+			if sc.Step == "" {
+				return nil, fmt.Errorf("scenario: point %d has an unlabelled step row", i)
+			}
+		}
+	}
+	return &r, nil
+}

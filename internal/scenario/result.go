@@ -1,0 +1,143 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/transport"
+)
+
+// SchemaVersion stamps every Result; the CI schema-drift check and
+// external consumers key on it. Bump it on any breaking change to the
+// Result/Point/StepAccount shapes.
+const SchemaVersion = 1
+
+// Result is one scenario's complete measurement output.
+type Result struct {
+	SchemaVersion int      `json:"schema_version"`
+	Name          string   `json:"name"`
+	Workload      Workload `json:"workload"`
+	Seed          uint64   `json:"seed"`
+	Peers         int      `json:"peers"`
+	Segments      int      `json:"segments"`
+	Axis          Axis     `json:"axis"`
+	Points        []Point  `json:"points"`
+}
+
+// LatencyStats summarizes per-handshake simulated latency in
+// microseconds (the latency workload; nil for the others).
+type LatencyStats struct {
+	MeanUS float64 `json:"mean_us"`
+	P50US  float64 `json:"p50_us"`
+	MinUS  float64 `json:"min_us"`
+	MaxUS  float64 `json:"max_us"`
+}
+
+// ChurnStats summarizes the churn workload's rounds (nil otherwise).
+type ChurnStats struct {
+	Rounds          int     `json:"rounds"`
+	PeersPerRound   int     `json:"peers_per_round"`
+	MeanRoundTimeUS float64 `json:"mean_round_time_us"`
+	MaxRoundTimeUS  float64 `json:"max_round_time_us"`
+}
+
+// StepAccount is the per-Table-II-step cost row: which protocol step
+// paid how much wire time and recovery under the measured impairment.
+type StepAccount struct {
+	Step          string  `json:"step"` // "A1".."B2", or "op_XX" off-protocol
+	Messages      int     `json:"messages"`
+	Frames        int     `json:"frames"`
+	Retransmits   int     `json:"retransmits"`
+	WaitsHonoured int     `json:"waits_honoured"`
+	Resends       int     `json:"resends"`
+	Aborted       int     `json:"aborted"`
+	PayloadBytes  int     `json:"payload_bytes"`
+	WireTimeUS    float64 `json:"wire_time_us"`
+}
+
+// Point is the measurement at one sweep value.
+type Point struct {
+	Axis  Axis    `json:"axis"`
+	Value float64 `json:"value"`
+
+	Errors     int `json:"errors"`
+	Handshakes int `json:"handshakes"`
+
+	Latency *LatencyStats `json:"latency,omitempty"`
+	Churn   *ChurnStats   `json:"churn,omitempty"`
+
+	// WorkloadTimeUS is the simulated time the workload consumed at
+	// this point (total bring-up time for bringup/churn, summed
+	// handshake time for latency).
+	WorkloadTimeUS float64 `json:"workload_time_us"`
+
+	// Recovery accounting (fleet + transport aggregates).
+	Retries        int `json:"retries"`
+	FailedAttempts int `json:"failed_attempts"`
+	Retransmits    int `json:"retransmits"`
+	MessageResends int `json:"message_resends"`
+	IntegrityDrops int `json:"integrity_drops"`
+	ProtocolDrops  int `json:"protocol_drops"`
+
+	// Fabric counters.
+	BusDropped           int `json:"bus_dropped"`
+	BusCorrupted         int `json:"bus_corrupted"`
+	BusDuplicated        int `json:"bus_duplicated"`
+	BusDelayed           int `json:"bus_delayed"`
+	RxOverflow           int `json:"rx_overflow"`
+	GatewayForwarded     int `json:"gateway_forwarded"`
+	GatewayEgressDropped int `json:"gateway_egress_dropped"`
+
+	SimTimeUS float64 `json:"sim_time_us"`
+
+	Steps []StepAccount `json:"steps"`
+}
+
+// us converts a simulated duration to microseconds.
+func us(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+
+// stepAccounts converts an accounting snapshot into sorted rows with
+// Table II labels.
+func stepAccounts(snap map[byte]transport.StepCost) []StepAccount {
+	out := make([]StepAccount, 0, len(snap))
+	for op, c := range snap {
+		label, ok := core.StepLabel(op)
+		if !ok {
+			label = fmt.Sprintf("op_%02x", op)
+		}
+		out = append(out, StepAccount{
+			Step:          label,
+			Messages:      c.Messages,
+			Frames:        c.Frames,
+			Retransmits:   c.Retransmits,
+			WaitsHonoured: c.WaitsHonoured,
+			Resends:       c.Resends,
+			Aborted:       c.Aborted,
+			PayloadBytes:  c.PayloadBytes,
+			WireTimeUS:    us(c.WireTime),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Step < out[j].Step })
+	return out
+}
+
+// latencyStats summarizes a sample of simulated durations.
+func latencyStats(samples []time.Duration) *LatencyStats {
+	if len(samples) == 0 {
+		return nil
+	}
+	sorted := append([]time.Duration(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum time.Duration
+	for _, d := range sorted {
+		sum += d
+	}
+	return &LatencyStats{
+		MeanUS: us(sum) / float64(len(sorted)),
+		P50US:  us(sorted[len(sorted)/2]),
+		MinUS:  us(sorted[0]),
+		MaxUS:  us(sorted[len(sorted)-1]),
+	}
+}

@@ -1,0 +1,228 @@
+package scenario
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/canbus"
+	"repro/internal/core"
+	"repro/internal/detrand"
+	"repro/internal/ec"
+	"repro/internal/ecqv"
+	"repro/internal/fleet"
+	"repro/internal/session"
+)
+
+// Run executes the scenario — every sweep point on a fresh, freshly
+// seeded fabric — and returns its measurements.
+func Run(s Scenario) (*Result, error) { return run(s, nil) }
+
+// RunTraced runs the scenario while streaming the full fault and
+// recovery trace to w in a stable line format: one line per injected
+// bus fault, per completed or failed handshake, per protocol-step
+// cost row and per point summary. With a fixed seed the byte stream
+// is exactly reproducible (at parallelism 1 — concurrent runs keep
+// the same aggregate trace lines but may interleave fault lines of
+// different conversations differently), which is what the
+// golden-trace regression test diffs.
+func RunTraced(s Scenario, w io.Writer) (*Result, error) {
+	return run(s, &tracer{w: w})
+}
+
+// tracer accumulates the text trace; a nil tracer writes nothing.
+type tracer struct {
+	w   io.Writer
+	err error
+}
+
+func (t *tracer) printf(format string, args ...any) {
+	if t == nil || t.err != nil {
+		return
+	}
+	_, t.err = fmt.Fprintf(t.w, format, args...)
+}
+
+func run(s Scenario, tr *tracer) (*Result, error) {
+	s = s.withDefaults()
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	axis := s.SweepAxis
+	if axis == "" {
+		axis = AxisDrop
+	}
+	res := &Result{
+		SchemaVersion: SchemaVersion,
+		Name:          s.Name,
+		Workload:      s.Workload,
+		Seed:          s.Seed,
+		Peers:         s.Peers,
+		Segments:      s.Segments,
+		Axis:          axis,
+	}
+	tr.printf("# scenario %s workload=%s seed=%d peers=%d segments=%d axis=%s\n",
+		s.Name, s.Workload, s.Seed, s.Peers, s.Segments, axis)
+	for _, v := range s.points() {
+		pt, err := s.runPoint(v, axis, tr)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s at %s=%v: %w", s.Name, axis, v, err)
+		}
+		res.Points = append(res.Points, pt)
+	}
+	if tr != nil && tr.err != nil {
+		return nil, tr.err
+	}
+	return res, nil
+}
+
+// runPoint provisions a fleet, builds the fabric at one sweep value
+// and drives the workload.
+func (s Scenario) runPoint(v float64, axis Axis, tr *tracer) (Point, error) {
+	prof := s.profileAt(v)
+	tr.printf("point %s=%.4f\n", axis, v)
+
+	net, err := core.NewNetwork(ec.P256(), detrand.NewReader(detrand.DeriveSeed(s.Seed, []byte("provision"), math.Float64bits(v))))
+	if err != nil {
+		return Point{}, err
+	}
+	self, err := net.Provision("scenario-manager")
+	if err != nil {
+		return Point{}, err
+	}
+	peers := make([]*core.Party, s.Peers)
+	for i := range peers {
+		if peers[i], err = net.Provision(fmt.Sprintf("ecu-%02d", i)); err != nil {
+			return Point{}, err
+		}
+		// Private responder-side randomness per peer: leg two of
+		// reproducible concurrency (leg one is content-keyed faults).
+		peers[i].Rand = detrand.NewReader(detrand.DeriveSeed(s.Seed, peers[i].ID[:], 0xB0B))
+	}
+
+	var faultTrace func(canbus.FaultEvent)
+	if tr != nil {
+		faultTrace = func(ev canbus.FaultEvent) {
+			tr.printf("fault t=%dns bus=%d id=0x%03x occ=%d kind=%s\n",
+				ev.Time.Nanoseconds(), ev.BusID, ev.FrameID, ev.Occurrence, ev.Kind)
+		}
+	}
+	fab, err := buildFabric(s, prof, peers, faultTrace)
+	if err != nil {
+		return Point{}, err
+	}
+
+	m, err := fleet.NewManager(self, core.OptNone, session.DefaultPolicy)
+	if err != nil {
+		return Point{}, err
+	}
+	m.SetRetryPolicy(fleet.RetryPolicy{MaxAttempts: s.Attempts})
+	// Private initiator-side randomness per handshake: the ordinal
+	// counts every attempt to a peer across the whole point (bring-up,
+	// retries, churn reconnects), so no two handshakes share a stream.
+	var hsMu sync.Mutex
+	ordinals := make(map[ecqv.ID]uint64)
+	m.SetHandshakeRand(func(peer ecqv.ID, attempt int) io.Reader {
+		hsMu.Lock()
+		n := ordinals[peer]
+		ordinals[peer] = n + 1
+		hsMu.Unlock()
+		return detrand.NewReader(detrand.DeriveSeed(s.Seed, peer[:], 0xA11CE, n))
+	})
+	m.SetCarrier(func(peer *core.Party) (fleet.Carrier, error) {
+		c, ok := fab.carriers[peer.ID]
+		if !ok {
+			return nil, fmt.Errorf("scenario: no carrier for %s", peer.ID)
+		}
+		return c, nil
+	})
+
+	pt := Point{Axis: axis, Value: v}
+	switch s.Workload {
+	case WorkloadLatency:
+		var samples []time.Duration
+		start := fab.now()
+		for _, p := range peers {
+			t0 := fab.now()
+			if err := m.Connect(p); err != nil {
+				pt.Errors++
+				tr.printf("handshake peer=%s FAILED\n", p.ID)
+				continue
+			}
+			dt := fab.now() - t0
+			samples = append(samples, dt)
+			tr.printf("handshake peer=%s t=%dns\n", p.ID, dt.Nanoseconds())
+		}
+		pt.WorkloadTimeUS = us(fab.now() - start)
+		pt.Latency = latencyStats(samples)
+
+	case WorkloadBringup:
+		start := fab.now()
+		for _, err := range m.EstablishAll(peers, s.Parallelism) {
+			if err != nil {
+				pt.Errors++
+			}
+		}
+		pt.WorkloadTimeUS = us(fab.now() - start)
+
+	case WorkloadChurn:
+		start := fab.now()
+		for _, err := range m.EstablishAll(peers, s.Parallelism) {
+			if err != nil {
+				pt.Errors++
+			}
+		}
+		// Every round, the even-indexed half leaves and rejoins.
+		var half []*core.Party
+		for i := 0; i < len(peers); i += 2 {
+			half = append(half, peers[i])
+		}
+		var roundTimes []time.Duration
+		for r := 0; r < s.ChurnRounds; r++ {
+			for _, p := range half {
+				m.Disconnect(p.ID)
+			}
+			t0 := fab.now()
+			for _, err := range m.EstablishAll(half, s.Parallelism) {
+				if err != nil {
+					pt.Errors++
+				}
+			}
+			dt := fab.now() - t0
+			roundTimes = append(roundTimes, dt)
+			tr.printf("churn round=%d peers=%d t=%dns\n", r, len(half), dt.Nanoseconds())
+		}
+		pt.WorkloadTimeUS = us(fab.now() - start)
+		cs := &ChurnStats{Rounds: s.ChurnRounds, PeersPerRound: len(half)}
+		var sum, max time.Duration
+		for _, d := range roundTimes {
+			sum += d
+			if d > max {
+				max = d
+			}
+		}
+		if len(roundTimes) > 0 {
+			cs.MeanRoundTimeUS = us(sum) / float64(len(roundTimes))
+			cs.MaxRoundTimeUS = us(max)
+		}
+		pt.Churn = cs
+	}
+
+	st := m.Stats()
+	pt.Handshakes = st.Handshakes
+	pt.Retries = st.HandshakeRetries
+	pt.FailedAttempts = st.FailedAttempts
+	fab.counters(&pt)
+
+	for _, sa := range pt.Steps {
+		tr.printf("step %s messages=%d frames=%d retransmits=%d waits=%d resends=%d aborted=%d payload=%d wire=%.3fus\n",
+			sa.Step, sa.Messages, sa.Frames, sa.Retransmits, sa.WaitsHonoured, sa.Resends, sa.Aborted, sa.PayloadBytes, sa.WireTimeUS)
+	}
+	tr.printf("summary errors=%d handshakes=%d retries=%d failed=%d retransmits=%d resends=%d integrity_drops=%d protocol_drops=%d dropped=%d corrupted=%d duplicated=%d rx_overflow=%d forwarded=%d egress_dropped=%d sim=%dns\n",
+		pt.Errors, pt.Handshakes, pt.Retries, pt.FailedAttempts, pt.Retransmits, pt.MessageResends,
+		pt.IntegrityDrops, pt.ProtocolDrops, pt.BusDropped, pt.BusCorrupted, pt.BusDuplicated,
+		pt.RxOverflow, pt.GatewayForwarded, pt.GatewayEgressDropped, fab.now().Nanoseconds())
+	return pt, nil
+}

@@ -1,0 +1,205 @@
+// Package scenario is the declarative measurement engine on top of
+// the impairment-aware CAN fabric: a Scenario names a topology, an
+// impairment profile, a workload and a sweep axis, and Run drives the
+// session-establishment fleet over the simulated multi-segment
+// network, emitting structured measurements — handshake-latency-vs-
+// loss-rate curves, per-Table-II-step retransmission and overhead
+// accounting, fleet bring-up under churn — as JSON or CSV.
+//
+// This turns the chaos fabric of internal/canbus, internal/cantp and
+// internal/transport from a test fixture into an instrument: the
+// paper's cost claims (Table II) are stated for a lossless bus, and
+// the scenario engine measures how they degrade when the bus does.
+// Every run is seeded and every fault decision content-keyed, so a
+// published curve is exactly reproducible from its scenario
+// definition.
+package scenario
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/canbus"
+)
+
+// Workload selects what the fleet does during a measurement point.
+type Workload string
+
+const (
+	// WorkloadLatency runs one handshake per peer, serially, and
+	// records each handshake's simulated-time cost (retries included)
+	// — the latency-vs-loss curve workload.
+	WorkloadLatency Workload = "latency"
+	// WorkloadBringup establishes the whole fleet through
+	// EstablishAll and records the total bring-up time.
+	WorkloadBringup Workload = "bringup"
+	// WorkloadChurn brings the fleet up, then repeatedly drops and
+	// re-establishes half of it, modelling vehicles leaving and
+	// rejoining a group.
+	WorkloadChurn Workload = "churn"
+)
+
+// Axis names the impairment rate a sweep varies.
+type Axis string
+
+const (
+	AxisDrop      Axis = "drop"
+	AxisCorrupt   Axis = "corrupt"
+	AxisDuplicate Axis = "duplicate"
+)
+
+// Profile is the per-segment impairment profile applied to every bus
+// of the topology (content-keyed per bus through BusID, so segments
+// fault independently).
+type Profile struct {
+	Drop      float64       `json:"drop"`
+	Corrupt   float64       `json:"corrupt"`
+	Duplicate float64       `json:"duplicate"`
+	DelayRate float64       `json:"delay_rate"`
+	Delay     time.Duration `json:"delay_ns"`
+}
+
+// Scenario is one declarative measurement definition.
+type Scenario struct {
+	Name string `json:"name"`
+	Seed uint64 `json:"seed"`
+
+	// Topology: the manager sits on segment 0, the peers on the last
+	// segment, with a chain of gateways in between (Segments = 1 puts
+	// everyone on one bus). GatewayLatency is the per-hop
+	// store-and-forward cost; a non-zero Egress policy congests every
+	// gateway port.
+	Peers          int                 `json:"peers"`
+	Segments       int                 `json:"segments"`
+	GatewayLatency time.Duration       `json:"gateway_latency_ns"`
+	Egress         canbus.EgressPolicy `json:"egress"`
+
+	Profile  Profile  `json:"profile"`
+	Workload Workload `json:"workload"`
+
+	// Sweep varies one impairment axis across Points; an empty sweep
+	// measures the base profile once.
+	SweepAxis   Axis      `json:"sweep_axis,omitempty"`
+	SweepPoints []float64 `json:"sweep_points,omitempty"`
+
+	// Attempts is the per-handshake retry budget (default 10).
+	Attempts int `json:"attempts"`
+	// Parallelism is the EstablishAll worker count for the bringup
+	// and churn workloads (default 1; the latency workload is serial
+	// by definition). Any value reproduces the same trace — fault
+	// decisions are content-keyed and every conversation draws
+	// private randomness — except when a rate-limited Egress policy
+	// couples conversations through a shared queue; keep 1 there.
+	Parallelism int `json:"parallelism"`
+	// ChurnRounds is the number of drop/re-establish rounds of the
+	// churn workload (default 3).
+	ChurnRounds int `json:"churn_rounds,omitempty"`
+}
+
+// withDefaults fills unset knobs.
+func (s Scenario) withDefaults() Scenario {
+	if s.Segments <= 0 {
+		s.Segments = 3
+	}
+	if s.Attempts <= 0 {
+		s.Attempts = 10
+	}
+	if s.Parallelism <= 0 {
+		s.Parallelism = 1
+	}
+	if s.ChurnRounds <= 0 {
+		s.ChurnRounds = 3
+	}
+	if s.Workload == "" {
+		s.Workload = WorkloadLatency
+	}
+	if s.GatewayLatency < 0 {
+		s.GatewayLatency = 0
+	}
+	return s
+}
+
+// Validate rejects unrunnable scenarios.
+func (s Scenario) Validate() error {
+	s = s.withDefaults()
+	if s.Name == "" {
+		return errors.New("scenario: empty name")
+	}
+	if s.Peers < 1 {
+		return fmt.Errorf("scenario: %d peers", s.Peers)
+	}
+	if s.Peers > 0xFF {
+		return fmt.Errorf("scenario: %d peers exceed the CAN ID block", s.Peers)
+	}
+	switch s.Workload {
+	case WorkloadLatency, WorkloadBringup, WorkloadChurn:
+	default:
+		return fmt.Errorf("scenario: unknown workload %q", s.Workload)
+	}
+	switch s.SweepAxis {
+	case "", AxisDrop, AxisCorrupt, AxisDuplicate:
+	default:
+		return fmt.Errorf("scenario: unknown sweep axis %q", s.SweepAxis)
+	}
+	if len(s.SweepPoints) > 0 && s.SweepAxis == "" {
+		return errors.New("scenario: sweep points without an axis")
+	}
+	for _, rate := range [...]float64{s.Profile.Drop, s.Profile.Corrupt, s.Profile.Duplicate, s.Profile.DelayRate} {
+		if rate < 0 || rate > 1 {
+			return fmt.Errorf("scenario: impairment rate %v out of [0,1]", rate)
+		}
+	}
+	for _, p := range s.SweepPoints {
+		if p < 0 || p > 1 {
+			return fmt.Errorf("scenario: sweep point %v out of [0,1]", p)
+		}
+	}
+	if s.Egress.Rate < 0 || s.Egress.Queue < 0 {
+		return errors.New("scenario: negative egress policy")
+	}
+	if s.Egress.Rate > 0 && s.Parallelism > 1 {
+		// The rate-gated egress queue is shared state: concurrent
+		// conversations couple through it, so the run would not be
+		// reproducible — which is the engine's headline contract.
+		return errors.New("scenario: a rate-limited egress policy requires parallelism 1 (the shared egress queue makes concurrent runs schedule-dependent)")
+	}
+	return nil
+}
+
+// points returns the sweep values to measure, or the base profile's
+// own axis value for an empty sweep.
+func (s Scenario) points() []float64 {
+	if len(s.SweepPoints) > 0 {
+		return s.SweepPoints
+	}
+	return []float64{s.axisValue(s.Profile)}
+}
+
+// axisValue reads the swept rate out of a profile.
+func (s Scenario) axisValue(p Profile) float64 {
+	switch s.SweepAxis {
+	case AxisCorrupt:
+		return p.Corrupt
+	case AxisDuplicate:
+		return p.Duplicate
+	default:
+		return p.Drop
+	}
+}
+
+// profileAt returns the profile with the swept axis set to v.
+func (s Scenario) profileAt(v float64) Profile {
+	p := s.Profile
+	switch s.SweepAxis {
+	case AxisCorrupt:
+		p.Corrupt = v
+	case AxisDuplicate:
+		p.Duplicate = v
+	case AxisDrop, "":
+		if len(s.SweepPoints) > 0 {
+			p.Drop = v
+		}
+	}
+	return p
+}

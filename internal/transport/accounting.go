@@ -1,0 +1,77 @@
+package transport
+
+import (
+	"sync"
+	"time"
+)
+
+// StepCost aggregates the wire cost attributed to one application
+// opcode. For STS handshake traffic the opcode is the Table II step
+// code (core.StepLabel names it), so a populated Accounting answers
+// the question the paper's overhead table cannot: which protocol step
+// pays for recovery when the bus degrades.
+type StepCost struct {
+	// Messages counts completed sends of this opcode.
+	Messages int
+	// Frames counts frames the sending endpoint put on the wire while
+	// the send was in flight — data frames, FirstFrame retransmissions
+	// and any receiver-side FlowControls it answered meanwhile.
+	Frames int
+	// Retransmits counts ISO-TP FirstFrame retransmissions (N_Bs
+	// expiry) attributed to this opcode.
+	Retransmits int
+	// WaitsHonoured counts FlowControl(Wait) frames honoured.
+	WaitsHonoured int
+	// Resends counts whole-message retransmissions by Link.Deliver.
+	Resends int
+	// Aborted counts transfers abandoned after exhausting budgets.
+	Aborted int
+	// PayloadBytes sums application payload bytes of completed sends.
+	PayloadBytes int
+	// WireTime is the cumulative bus occupancy of the counted frames.
+	WireTime time.Duration
+}
+
+// Accounting attributes per-send costs to opcodes across every
+// endpoint configured with it (Config.Accounting). One instance is
+// typically shared by all endpoints of a measurement scenario, so the
+// snapshot is the fleet-wide per-step cost table. Safe for concurrent
+// use; within one single-goroutine World the lock is uncontended.
+type Accounting struct {
+	mu    sync.Mutex
+	steps map[byte]*StepCost
+}
+
+// NewAccounting returns an empty per-step cost table.
+func NewAccounting() *Accounting {
+	return &Accounting{steps: make(map[byte]*StepCost)}
+}
+
+// record applies an update to the opcode's cost row.
+func (a *Accounting) record(op byte, update func(*StepCost)) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	c, ok := a.steps[op]
+	if !ok {
+		c = &StepCost{}
+		a.steps[op] = c
+	}
+	update(c)
+}
+
+// Snapshot returns a copy of the per-opcode cost table.
+func (a *Accounting) Snapshot() map[byte]StepCost {
+	if a == nil {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[byte]StepCost, len(a.steps))
+	for op, c := range a.steps {
+		out[op] = *c
+	}
+	return out
+}

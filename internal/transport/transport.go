@@ -111,6 +111,11 @@ type Config struct {
 	// segment; on a shared segment an unfiltered endpoint would
 	// answer its neighbours' FirstFrames with spoofed FlowControls.
 	AcceptID uint32
+	// Accounting, when non-nil, attributes every send's wire cost to
+	// the message's OpCode — for handshake traffic, the Table II step.
+	// Share one instance across a scenario's endpoints for a
+	// fleet-wide per-step cost table.
+	Accounting *Accounting
 }
 
 // DefaultConfig is the reliable profile used by the chaos harness.
@@ -224,6 +229,37 @@ func (e *Endpoint) now() time.Duration { return e.clock.Now() }
 // duration is the wire time of every frame actually transmitted,
 // retransmissions included.
 func (e *Endpoint) Send(m Message) (time.Duration, error) {
+	if e.cfg.Accounting == nil {
+		return e.send(m)
+	}
+	f0, w0 := e.stats.FramesSent, e.stats.WireTime
+	r0, wh0, ab0 := e.stats.Retransmits, e.stats.WaitsHonoured, e.stats.AbortedSends
+	wt, err := e.send(m)
+	e.cfg.Accounting.record(m.OpCode, func(c *StepCost) {
+		c.Frames += e.stats.FramesSent - f0
+		c.WireTime += e.stats.WireTime - w0
+		c.Retransmits += e.stats.Retransmits - r0
+		c.WaitsHonoured += e.stats.WaitsHonoured - wh0
+		c.Aborted += e.stats.AbortedSends - ab0
+		if err == nil {
+			c.Messages++
+			c.PayloadBytes += len(m.Payload)
+		}
+	})
+	return wt, err
+}
+
+// accountResend attributes one whole-message resend (Link.Deliver) to
+// the message's opcode.
+func (e *Endpoint) accountResend(op byte) {
+	if e.cfg.Accounting == nil {
+		return
+	}
+	e.cfg.Accounting.record(op, func(c *StepCost) { c.Resends++ })
+}
+
+// send is the unaccounted transmit path behind Send.
+func (e *Endpoint) send(m Message) (time.Duration, error) {
 	payload := m.Encode()
 	if e.cfg.Checksum {
 		payload = appendChecksum(payload)

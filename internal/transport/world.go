@@ -36,9 +36,13 @@ type World struct {
 // that may be called from multiple goroutines (fleet.NetCarrier under
 // EstablishAll with parallelism > 1) hold it for a whole exchange, so
 // concurrent handshakes over one fabric serialize instead of racing
-// the unsynchronized endpoints. Determinism still requires a single
-// driving goroutine — serialized-but-racing-for-the-lock fleets are
-// safe, not reproducible.
+// the unsynchronized endpoints. Scheduling still permutes the order
+// in which whole attempts run; reproducibility at parallelism > 1
+// additionally needs canbus's content-keyed impairment (fault
+// decisions independent of cross-conversation interleaving) and
+// per-attempt handshake randomness (fleet.Manager.SetHandshakeRand),
+// under which every aggregate counter and the simulated clock are
+// permutation-invariant.
 func (w *World) Acquire() { w.mu.Lock() }
 
 // Release drops the conversation lock.
@@ -77,12 +81,18 @@ func (w *World) Run() int {
 	}
 }
 
-// nextTimer returns the earliest pending endpoint timer after now, or
-// 0 when none is armed.
+// nextTimer returns the earliest pending timer after now — endpoint
+// protocol deadlines and gateway egress release times — or 0 when
+// none is armed.
 func (w *World) nextTimer(now time.Duration) time.Duration {
 	var min time.Duration
 	for _, e := range w.endpoints {
 		if dl := e.nextDeadline(); dl > now && (min == 0 || dl < min) {
+			min = dl
+		}
+	}
+	for _, g := range w.gateways {
+		if dl := g.NextDeadline(); dl > now && (min == 0 || dl < min) {
 			min = dl
 		}
 	}
@@ -161,6 +171,7 @@ func (l *Link) Deliver(src, dst *Endpoint, m Message) (Message, error) {
 	for attempt := 0; attempt <= l.maxResend(); attempt++ {
 		if attempt > 0 {
 			src.stats.MessageResends++
+			src.accountResend(m.OpCode)
 		}
 		if _, err := src.Send(m); err != nil {
 			lastErr = err
@@ -175,12 +186,20 @@ func (l *Link) Deliver(src, dst *Endpoint, m Message) (Message, error) {
 		if got, ok := dst.TryPoll(); ok {
 			return got, nil
 		}
-		// Nothing completed: the tail of the transfer died on the
-		// wire. Let the destination's timers lapse so the partial
-		// transfer is abandoned, then resend.
-		l.World.AdvanceTo(l.World.Clock.Now() + l.responseTimeout())
-		if got, ok := dst.TryPoll(); ok {
-			return got, nil
+		// Nothing completed yet: the tail of the transfer is either
+		// gated behind a congested gateway's egress queue or died on
+		// the wire. Advance toward the response deadline one timer at
+		// a time, polling after each step, so a merely-delayed message
+		// surfaces the moment its last frame is released rather than
+		// after the full timeout; only a genuinely lost tail burns the
+		// whole budget (letting the destination's N_Cr lapse clean any
+		// partial state) and forces a resend.
+		deadline := l.World.Clock.Now() + l.responseTimeout()
+		for l.World.Clock.Now() < deadline {
+			l.World.Step(deadline)
+			if got, ok := dst.TryPoll(); ok {
+				return got, nil
+			}
 		}
 		lastErr = ErrDeliveryFailed
 	}
