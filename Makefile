@@ -59,12 +59,25 @@ bench-alloc:
 
 # One small degraded-bus sweep end to end — scenario engine, CLI,
 # JSON writer — then the schema-drift gate on its own output (used by
-# CI; finishes in seconds because all time is simulated).
+# CI; finishes in seconds because all time is simulated). The second
+# half is the schedule-invariance gate: a congested-gateway bring-up
+# sweep at EstablishAll parallelism 4 runs twice with the same seed
+# (plus the CLI's serial-reference self-check inside each run) and the
+# two JSON outputs must be byte-identical — the fair-queuing egress
+# scheduler is what makes this combination reproducible at all.
 scenario-smoke:
 	$(GO) run ./cmd/scenario -name smoke -peers 4 -segments 3 \
 		-sweep drop:0,0.05,0.10 -attempts 10 \
 		-json scenario-smoke.json -csv scenario-smoke.csv
 	$(GO) run ./cmd/scenario -validate scenario-smoke.json
+	$(GO) run ./cmd/scenario -name congested-smoke -workload bringup -peers 4 -segments 3 \
+		-parallelism 4 -egress-rate 800 -egress-queue 64 -sweep drop:0,0.02 \
+		-check-invariance -json congested-smoke-a.json >/dev/null
+	$(GO) run ./cmd/scenario -name congested-smoke -workload bringup -peers 4 -segments 3 \
+		-parallelism 4 -egress-rate 800 -egress-queue 64 -sweep drop:0,0.02 \
+		-check-invariance -json congested-smoke-b.json >/dev/null
+	cmp congested-smoke-a.json congested-smoke-b.json
+	$(GO) run ./cmd/scenario -validate congested-smoke-a.json
 
 # Regenerate the committed BENCH_scenarios.json trajectory (the
 # canonical degraded-bus curves; simulated time, host-independent).
@@ -75,6 +88,9 @@ bench-scenarios:
 		-drop 0.03 -corrupt 0.005 -churn-rounds 3 -bench BENCH_scenarios.json >/dev/null
 	$(GO) run ./cmd/scenario -name congested-gateway-bringup -workload bringup -peers 8 \
 		-egress-rate 600 -egress-queue 256 -bench BENCH_scenarios.json >/dev/null
+	$(GO) run ./cmd/scenario -name congested-gateway-bringup-8way -workload bringup -peers 8 \
+		-egress-rate 600 -egress-queue 256 -parallelism 8 -check-invariance \
+		-bench BENCH_scenarios.json >/dev/null
 
 # Brief fuzzing of the protocol parsers (committed corpora under
 # testdata/fuzz replay in every plain `go test` run; this target digs

@@ -19,6 +19,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -67,6 +68,7 @@ func run(args []string, stdout io.Writer) error {
 		tracePath   = fs.String("trace", "", "also write the full fault/recovery trace here")
 		benchPath   = fs.String("bench", "", "append the result to this benchmark trajectory file")
 		validate    = fs.String("validate", "", "validate an emitted JSON file against the schema and exit")
+		checkInv    = fs.Bool("check-invariance", false, "re-run the scenario serially (parallelism 1) and fail unless the results are byte-identical — the schedule-invariance self-check")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -127,6 +129,12 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 
+	if *checkInv {
+		if err := checkInvariance(s, res, stdout); err != nil {
+			return err
+		}
+	}
+
 	if *jsonPath == "" || *jsonPath == "-" {
 		if err := scenario.WriteJSON(stdout, res); err != nil {
 			return err
@@ -144,6 +152,36 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 	}
+	return nil
+}
+
+// checkInvariance re-runs the scenario at parallelism 1 and compares
+// the two results byte-for-byte: with content-keyed faults, private
+// per-conversation randomness and fair-queuing gateway egress, a
+// measured curve must be a function of the scenario definition alone,
+// never of how the workers were scheduled. (At parallelism 1 this
+// degrades to a same-seed replay determinism check, which is still a
+// meaningful gate.)
+func checkInvariance(s scenario.Scenario, res *scenario.Result, stdout io.Writer) error {
+	serial := s
+	serial.Parallelism = 1
+	ref, err := scenario.Run(serial)
+	if err != nil {
+		return fmt.Errorf("invariance self-check rerun: %w", err)
+	}
+	got, err := json.Marshal(res)
+	if err != nil {
+		return err
+	}
+	want, err := json.Marshal(ref)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(got, want) {
+		return fmt.Errorf("schedule-invariance self-check FAILED: parallelism %d diverged from the serial reference (%d vs %d bytes)",
+			s.Parallelism, len(got), len(want))
+	}
+	fmt.Fprintf(stdout, "invariance: parallelism %d == serial reference (%d identical bytes)\n", s.Parallelism, len(got))
 	return nil
 }
 

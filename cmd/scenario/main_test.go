@@ -59,7 +59,7 @@ func TestCLIEndToEnd(t *testing.T) {
 	if err := run([]string{"-validate", jsonPath}, &out); err != nil {
 		t.Fatalf("-validate rejected fresh output: %v", err)
 	}
-	if !strings.Contains(out.String(), "schema v1 ok") {
+	if !strings.Contains(out.String(), "schema v2 ok") {
 		t.Errorf("validate output: %q", out.String())
 	}
 
@@ -120,12 +120,42 @@ func TestCLIErrors(t *testing.T) {
 		{"-workload", "warp", "-peers", "2"}, // unknown workload
 		{"-sweep", "drop:zero"},              // bad sweep point
 		{"-validate", "/nonexistent/x.json"}, // unreadable file
-		{"-peers", "2", "-workload", "bringup", "-parallelism", "4", "-egress-rate", "100"}, // non-reproducible combination
+		// The one remaining non-reproducible combination: duplication
+		// through a rate-limited egress port at parallelism > 1.
+		{"-peers", "2", "-workload", "bringup", "-parallelism", "4", "-egress-rate", "100", "-duplicate", "0.05"},
 	}
 	for _, args := range cases {
 		if err := run(args, &out); err == nil {
 			t.Errorf("args %v succeeded", args)
 		}
+	}
+}
+
+// TestCLICheckInvariance runs a congested concurrent bring-up — the
+// configuration that could not exist before the fair-queuing egress
+// scheduler — with the schedule-invariance self-check armed: the CLI
+// re-runs it serially and fails on any byte of divergence.
+func TestCLICheckInvariance(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{
+		"-name", "inv-test", "-peers", "3", "-segments", "3", "-seed", "9",
+		"-workload", "bringup", "-parallelism", "4",
+		"-egress-rate", "600", "-egress-queue", "64", "-drop", "0.02",
+		"-check-invariance",
+	}, &out); err != nil {
+		t.Fatalf("invariance self-check failed: %v", err)
+	}
+	if !strings.Contains(out.String(), "invariance: parallelism 4 == serial reference") {
+		t.Errorf("missing self-check confirmation in output: %q", out.String())
+	}
+	// The confirmation precedes the JSON on stdout; the JSON itself
+	// must still validate.
+	idx := strings.Index(out.String(), "{")
+	if idx < 0 {
+		t.Fatal("no JSON on stdout")
+	}
+	if _, err := scenario.ValidateJSON(out.Bytes()[idx:]); err != nil {
+		t.Fatalf("stdout JSON invalid: %v", err)
 	}
 }
 

@@ -164,13 +164,34 @@ var ErrNotAttached = errors.New("canbus: node not attached to a bus")
 // wire time — it occupied the bus — with a nil error; loss is visible
 // only to the protocol layers above, exactly as on a real segment.
 func (n *Node) Send(f Frame) (time.Duration, error) {
+	res, err := n.send(f)
+	return res.wire, err
+}
+
+// sendResult reports where a transmitted frame ended up, for callers
+// (the gateway) that must account losses instead of shrugging them
+// off.
+type sendResult struct {
+	wire       time.Duration
+	candidates int  // receivers the frame was offered to
+	accepted   int  // receivers that queued at least one copy
+	dropped    bool // destroyed on the wire by impairment
+}
+
+// refused reports a delivery failure that is the receivers' doing
+// rather than the wire's: at least one receiver existed, the wire
+// delivered, and every receive queue was full.
+func (r sendResult) refused() bool { return !r.dropped && r.candidates > 0 && r.accepted == 0 }
+
+// send is the counted transmit path behind Send.
+func (n *Node) send(f Frame) (sendResult, error) {
 	if n.bus == nil {
-		return 0, ErrNotAttached
+		return sendResult{}, ErrNotAttached
 	}
 	rawLen := len(f.Data)
 	padded, err := PadToDLC(rawLen)
 	if err != nil {
-		return 0, err
+		return sendResult{}, err
 	}
 	if padded != rawLen {
 		data := make([]byte, padded)
@@ -178,11 +199,11 @@ func (n *Node) Send(f Frame) (time.Duration, error) {
 		f.Data = data
 	}
 	if err := f.Validate(); err != nil {
-		return 0, err
+		return sendResult{}, err
 	}
 	wt, err := f.WireTime(n.bus.rates)
 	if err != nil {
-		return 0, err
+		return sendResult{}, err
 	}
 
 	b := n.bus
@@ -193,6 +214,7 @@ func (n *Node) Send(f Frame) (time.Duration, error) {
 	b.stats.PadBytes += padded - rawLen
 	b.stats.WireTime += wt
 	b.clock.Advance(wt)
+	res := sendResult{wire: wt, candidates: len(b.nodes) - 1}
 
 	copies := 1
 	var delivered []byte
@@ -201,7 +223,8 @@ func (n *Node) Send(f Frame) (time.Duration, error) {
 		if roll.drop {
 			b.stats.Dropped++
 			b.emitFault(&f, roll, FaultDrop)
-			return wt, nil
+			res.dropped = true
+			return res, nil
 		}
 		if roll.corrupt {
 			delivered = append([]byte(nil), f.Data...)
@@ -238,12 +261,13 @@ func (n *Node) Send(f Frame) (time.Duration, error) {
 			}
 			if peer.enqueue(out) {
 				b.stats.Broadcast++
+				res.accepted++
 			} else {
 				b.stats.RxOverflow++
 			}
 		}
 	}
-	return wt, nil
+	return res, nil
 }
 
 // enqueue appends a frame to the receive queue, dropping it (and

@@ -2,6 +2,7 @@ package canbus
 
 import (
 	"testing"
+	"time"
 )
 
 // egressPair builds A —GW— B with the gateway's B-side port under the
@@ -76,6 +77,11 @@ func TestEgressOverflowDeterministic(t *testing.T) {
 			}
 		}
 		gw.Pump()
+		// Queue overflow is egress loss, not forward failure — the two
+		// counters must stay distinct.
+		if ff := gw.Stats().ForwardFailed; ff != 0 {
+			t.Fatalf("egress queue drops counted as forward failures: %d", ff)
+		}
 		return dst.Pending(), gw.Stats().EgressDropped
 	}
 	d1, o1 := run()
@@ -131,6 +137,113 @@ func TestEgressStarvedPortKeepsPerIDOrder(t *testing.T) {
 	}
 	if seen != 8 {
 		t.Fatalf("delivered %d of 8 frames", seen)
+	}
+}
+
+// TestEgressFairQueuingDecouplesFlows: one conversation's backlog must
+// not delay another conversation. Under the old shared FIFO, a frame
+// of flow B arriving behind five queued frames of flow A waited five
+// serialization gaps; the per-flow virtual clocks release B's frame at
+// its own tag.
+func TestEgressFairQueuingDecouplesFlows(t *testing.T) {
+	clock := NewClock()
+	// 100 frames/s: a 10 ms gap, so flow A's backlog spans ~40 ms.
+	_, _, gw, src, dst := egressPair(t, clock, EgressPolicy{Rate: 100})
+	for i := 0; i < 5; i++ {
+		if _, err := src.Send(Frame{ID: 0x110, BRS: true, Data: []byte{byte(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := src.Send(Frame{ID: 0x120, BRS: true, Data: []byte{0xBB}}); err != nil {
+		t.Fatal(err)
+	}
+	admitted := clock.Now()
+	gw.Pump()
+	// Both flows' head frames release at admission: the gate starts a
+	// fresh virtual clock per flow, so B is not behind A's backlog.
+	got := map[uint32]int{}
+	for {
+		f, ok := dst.Receive()
+		if !ok {
+			break
+		}
+		got[f.ID]++
+	}
+	if got[0x120] != 1 {
+		t.Fatalf("flow B's frame stuck behind flow A's backlog: delivered %v at %v (admitted %v)", got, clock.Now(), admitted)
+	}
+	if got[0x110] != 1 {
+		t.Fatalf("flow A's head not released at admission: %v", got)
+	}
+}
+
+// TestEgressReleaseScheduleInvariantToAdmissionOrder: interleaving
+// frames of independent conversations differently (preserving per-ID
+// order, the physical CAN guarantee) must not change the release
+// schedule — the property that makes congested scenarios reproducible
+// at parallelism > 1.
+func TestEgressReleaseScheduleInvariantToAdmissionOrder(t *testing.T) {
+	type release struct {
+		at time.Duration
+		id uint32
+		b  byte
+	}
+	run := func(order []uint32) []release {
+		clock := NewClock()
+		_, _, gw, src, dst := egressPair(t, clock, EgressPolicy{Rate: 200})
+		seq := map[uint32]byte{}
+		for _, id := range order {
+			if _, err := src.Send(Frame{ID: id, BRS: true, Data: []byte{seq[id]}}); err != nil {
+				t.Fatal(err)
+			}
+			seq[id]++
+		}
+		var out []release
+		for {
+			gw.Pump()
+			for {
+				f, ok := dst.Receive()
+				if !ok {
+					break
+				}
+				out = append(out, release{at: clock.Now(), id: f.ID, b: f.Data[0]})
+			}
+			dl := gw.NextDeadline()
+			if dl == 0 {
+				break
+			}
+			clock.AdvanceTo(dl)
+		}
+		return out
+	}
+	// Same three conversations, three per-ID-order-preserving
+	// interleavings. (Admission times differ by wire-time ordering, so
+	// compare the schedules relative to their own first release.)
+	rel := func(rs []release) []release {
+		if len(rs) == 0 {
+			return rs
+		}
+		base := rs[0].at
+		out := make([]release, len(rs))
+		for i, r := range rs {
+			out[i] = release{at: r.at - base, id: r.id, b: r.b}
+		}
+		return out
+	}
+	a := rel(run([]uint32{0x110, 0x110, 0x120, 0x120, 0x130, 0x130}))
+	for _, order := range [][]uint32{
+		{0x110, 0x120, 0x130, 0x110, 0x120, 0x130},
+		{0x130, 0x120, 0x110, 0x130, 0x120, 0x110},
+	} {
+		b := rel(run(order))
+		if len(a) != len(b) {
+			t.Fatalf("schedules differ in length: %d vs %d", len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("release %d differs across admission orders: %+v vs %+v\nfull: %+v\nvs    %+v", i, a[i], b[i], a, b)
+			}
+		}
 	}
 }
 

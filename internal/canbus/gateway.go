@@ -10,14 +10,29 @@ import (
 // Gateway bridges CAN segments the way an automotive central gateway
 // does: it owns one port (a regular bus node) per attached segment and
 // forwards frames between them under per-direction identifier filters,
-// charging a store-and-forward latency per forwarded frame to the
-// simulated clock.
+// charging a store-and-forward latency per forwarded frame.
 //
 // Forwarding is pull-based: Pump drains every port's receive queue and
 // re-transmits matching frames on the destination segments. The
 // single-threaded experiment drivers pump gateways between protocol
 // steps (see transport.World), which keeps multi-hop delivery order —
 // and therefore seeded impairment decisions — deterministic.
+//
+// Delayed transmission — store-and-forward latency and egress rate
+// limiting alike — is modelled as a per-port fair-queuing scheduler
+// rather than a shared FIFO: every conversation flow (CAN identifier)
+// owns a private queue and a virtual clock, each admitted frame gets a
+// release tag computed from its own flow's state only, and the port
+// releases whichever due frame carries the globally minimal tag. Two
+// properties follow. Same-identifier order is preserved (tags are
+// monotone within a flow), and the release schedule is a pure function
+// of frame content and admission times on the simulated clock — one
+// conversation's backlog never shifts another conversation's release
+// times, so concurrent experiment drivers that permute the order of
+// whole conversations reproduce bit-identical schedules. The shared
+// FIFO this replaces coupled flows through a single next-transmit time
+// and through arrival order, which made any scenario combining egress
+// congestion with parallelism > 1 schedule-dependent.
 //
 // Loops are prevented by construction twice over: a frame forwarded
 // onto a segment is transmitted from the gateway's own port there, so
@@ -38,25 +53,29 @@ type Gateway struct {
 type GatewayStats struct {
 	Forwarded     int           // frames re-transmitted onto another segment
 	Filtered      int           // frames drained but admitted by no route
-	StoreTime     time.Duration // cumulative store-and-forward latency
-	EgressDropped int           // frames lost to a full egress queue
+	ForwardFailed int           // re-transmissions no receiver accepted (invalid for the destination segment, or every RX queue full)
+	EgressQueued  int           // frames that entered a port's release schedule instead of leaving within the pump that drained them
+	StoreTime     time.Duration // cumulative store-and-forward latency charged to forwarded frames
+	EgressDropped int           // frames lost to a full per-flow egress queue
 }
 
 // EgressPolicy models a congested gateway port: a transmit rate limit
 // and a bounded egress queue. The zero policy is the uncongested
 // default — frames are re-transmitted within the pump that drained
-// them, exactly the pre-egress behaviour.
+// them (after any route latency), exactly the pre-egress behaviour.
 type EgressPolicy struct {
-	// Rate caps frames per simulated second leaving this port; 0 means
-	// unlimited. A rate-limited port holds admitted frames in its
-	// egress queue and releases them on the simulated clock, one every
-	// 1/Rate seconds.
+	// Rate caps frames per simulated second leaving this port, enforced
+	// per conversation flow (CAN identifier) by the fair-queuing
+	// scheduler; 0 means unlimited. A rate-limited flow's frames release
+	// on the simulated clock, one every 1/Rate seconds of that flow's
+	// own virtual time — independent of other flows' backlogs, which is
+	// what keeps concurrent scenarios schedule-invariant.
 	Rate float64
-	// Queue bounds the egress backlog of a rate-limited port; a frame
-	// admitted by a route while the queue is full is dropped and
-	// counted in EgressDropped. 0 means unbounded. Without a rate
-	// limit the bound is inert — an unlimited-rate port transmits
-	// within the pump that drained it and never builds a backlog.
+	// Queue bounds the egress backlog of each conversation flow on a
+	// rate-limited port; a frame admitted by a route while its flow's
+	// queue is full is dropped and counted in EgressDropped. 0 means
+	// unbounded. Without a rate limit the bound is inert — an
+	// unlimited-rate flow never builds a rate backlog to bound.
 	Queue int
 }
 
@@ -73,16 +92,66 @@ func (p EgressPolicy) gap() time.Duration {
 	return time.Duration(float64(time.Second) / p.Rate)
 }
 
+// flowKey identifies one conversation flow through a port. CAN frames
+// of one identifier belong to one conversation (the physical bus
+// guarantees their relative order), so the identifier is the
+// fair-queuing flow key.
+type flowKey struct {
+	id  uint32
+	ext bool
+}
+
+// gatedFrame is one scheduled release: the frame and its tag on the
+// simulated clock.
+type gatedFrame struct {
+	frame Frame
+	due   time.Duration
+}
+
+// egressFlow is one conversation's private release queue and virtual
+// clock. vnext is the earliest tag the flow's next admitted frame may
+// carry: admission sets due = max(eligible, vnext), then advances
+// vnext to due (plus the rate gap on a limited port), so tags are
+// monotone within the flow and computed from the flow's own history
+// only.
+type egressFlow struct {
+	key   flowKey
+	queue []gatedFrame
+	vnext time.Duration
+}
+
 type gatewayPort struct {
 	bus  *Bus
 	node *Node
 
-	// Egress state: FIFO queue (same-ID frame order is preserved by
-	// construction, even under starvation), the policy, and the
-	// earliest simulated time the next queued frame may leave.
-	policy   EgressPolicy
-	egress   []Frame
-	nextTxAt time.Duration
+	policy EgressPolicy
+	flows  []*egressFlow // admission order; release order is by tag
+}
+
+// flow returns (creating on demand) the port's scheduler state for a
+// frame's conversation.
+func (p *gatewayPort) flow(f Frame) *egressFlow {
+	k := flowKey{id: f.ID, ext: f.Extended}
+	for _, fl := range p.flows {
+		if fl.key == k {
+			return fl
+		}
+	}
+	fl := &egressFlow{key: k}
+	p.flows = append(p.flows, fl)
+	return fl
+}
+
+// backlog returns the frame's flow state only if it holds queued
+// frames (nil otherwise, without allocating flow state).
+func (p *gatewayPort) backlog(f Frame) *egressFlow {
+	k := flowKey{id: f.ID, ext: f.Extended}
+	for _, fl := range p.flows {
+		if fl.key == k && len(fl.queue) > 0 {
+			return fl
+		}
+	}
+	return nil
 }
 
 type gatewayRoute struct {
@@ -91,8 +160,9 @@ type gatewayRoute struct {
 	latency  time.Duration
 }
 
-// NewGateway creates a gateway. The clock (may be nil) is charged the
-// store-and-forward latency of every forwarded frame.
+// NewGateway creates a gateway. The clock (may be nil) schedules
+// store-and-forward and egress releases; without one there is no
+// timekeeping to gate on and every forward is immediate.
 func NewGateway(name string, clock *Clock) *Gateway {
 	return &Gateway{name: name, clock: clock}
 }
@@ -122,7 +192,8 @@ func (g *Gateway) port(bus *Bus) *gatewayPort {
 // SetEgress installs an egress policy on the gateway's port for a
 // bus (attaching the port on demand), modelling a congested central
 // gateway whose outbound link to that segment backs up. The zero
-// policy restores immediate forwarding.
+// policy restores immediate forwarding; frames already scheduled keep
+// their release tags.
 func (g *Gateway) SetEgress(bus *Bus, p EgressPolicy) error {
 	if bus == nil {
 		return errors.New("canbus: egress policy needs a bus")
@@ -136,14 +207,19 @@ func (g *Gateway) SetEgress(bus *Bus, p EgressPolicy) error {
 	return nil
 }
 
-// EgressBacklog returns the number of frames queued on the port for a
-// bus (0 when the port does not exist or is uncongested).
+// EgressBacklog returns the number of frames scheduled for later
+// release on the port for a bus — rate-gated and store-latency-gated
+// alike (0 when the port does not exist or holds nothing).
 func (g *Gateway) EgressBacklog(bus *Bus) int {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	for _, p := range g.ports {
 		if p.bus == bus {
-			return len(p.egress)
+			n := 0
+			for _, fl := range p.flows {
+				n += len(fl.queue)
+			}
+			return n
 		}
 	}
 	return 0
@@ -175,16 +251,16 @@ func (g *Gateway) Route(from, to *Bus, filter func(Frame) bool, latency time.Dur
 	return nil
 }
 
-// Pump drains every port, forwards (or egress-queues) matching frames
-// and releases rate-gated egress frames that are due on the simulated
-// clock. It returns the number of frames moved — drained from a port
-// or released from an egress queue. Callers loop until it returns 0 to
-// reach quiescence; a frame forwarded onto a segment watched by
-// another gateway is picked up by that gateway's next Pump, so chained
+// Pump drains every port, forwards (or schedules) matching frames and
+// releases scheduled frames that are due on the simulated clock. It
+// returns the number of frames moved — drained from a port or
+// released from a schedule. Callers loop until it returns 0 to reach
+// quiescence; a frame forwarded onto a segment watched by another
+// gateway is picked up by that gateway's next Pump, so chained
 // segments need a pump loop over all gateways (see transport.World).
-// Frames still gated behind a rate limit do not count as movement;
-// their release time is exposed through NextDeadline so the world's
-// timer loop can advance to it.
+// Frames still gated behind a store latency or rate limit do not
+// count as movement; their release time is exposed through
+// NextDeadline so the world's timer loop can advance to it.
 func (g *Gateway) Pump() int {
 	g.mu.Lock()
 	defer g.mu.Unlock()
@@ -206,8 +282,7 @@ func (g *Gateway) Pump() int {
 				}
 				matched = true
 				g.stats.StoreTime += r.latency
-				g.clock.Advance(r.latency)
-				g.emit(r.to, f)
+				g.emit(r.to, f, r.latency)
 			}
 			if !matched {
 				g.stats.Filtered++
@@ -220,51 +295,103 @@ func (g *Gateway) Pump() int {
 	return moved
 }
 
-// emit puts a routed frame onto the destination port: straight to the
-// wire on an uncongested port, or into the egress queue (dropping on
-// overflow) when a policy gates the port.
-func (g *Gateway) emit(p *gatewayPort, f Frame) {
-	if !p.policy.limited() {
-		if _, err := p.node.Send(f); err == nil {
-			g.stats.Forwarded++
-		}
+// emit puts a routed frame onto the destination port. Store-and-
+// forward latency is charged per frame as a scheduled release — never
+// as a shared-clock advance, so unrelated frames drained in the same
+// pump do not inflate each other's timestamps. A frame with nothing to
+// wait for (zero latency, unlimited rate, no flow backlog to stay
+// behind) goes straight to the wire within this pump, exactly the
+// pre-scheduler behaviour; everything else is tagged by its flow's
+// virtual clock and queued for drainEgress.
+func (g *Gateway) emit(p *gatewayPort, f Frame, latency time.Duration) {
+	if g.clock == nil {
+		// No timekeeping: nothing to gate on, forward immediately.
+		g.forward(p, f)
 		return
 	}
-	if p.policy.Queue > 0 && len(p.egress) >= p.policy.Queue {
+	if !p.policy.limited() && latency == 0 && p.backlog(f) == nil {
+		g.forward(p, f)
+		return
+	}
+	fl := p.flow(f)
+	if p.policy.limited() && p.policy.Queue > 0 && len(fl.queue) >= p.policy.Queue {
 		g.stats.EgressDropped++
 		return
 	}
-	p.egress = append(p.egress, f)
-}
-
-// drainEgress releases queued frames that are due at the current
-// simulated time, charging the rate limit's serialization gap between
-// releases. Returns the number of frames released.
-func (g *Gateway) drainEgress(p *gatewayPort) int {
-	sent := 0
-	now := g.clock.Now()
-	for len(p.egress) > 0 && p.nextTxAt <= now {
-		f := p.egress[0]
-		p.egress = p.egress[1:]
-		if _, err := p.node.Send(f); err == nil {
-			g.stats.Forwarded++
-		}
-		sent++
-		next := p.nextTxAt
-		if now > next {
-			next = now
-		}
-		p.nextTxAt = next + p.policy.gap()
-		if p.policy.gap() == 0 {
-			p.nextTxAt = 0
-		}
-		now = g.clock.Now()
+	due := g.clock.Now() + latency
+	if fl.vnext > due {
+		due = fl.vnext
 	}
-	return sent
+	fl.vnext = due
+	if p.policy.limited() {
+		fl.vnext = due + p.policy.gap()
+	}
+	fl.queue = append(fl.queue, gatedFrame{frame: f, due: due})
+	g.stats.EgressQueued++
 }
 
-// NextDeadline returns the earliest simulated time a rate-gated egress
-// frame becomes releasable, or 0 when no port holds a gated frame. The
+// drainEgress releases every scheduled frame that is due at the
+// current simulated time, smallest tag first (ties broken by flow
+// identifier, so release order never depends on admission
+// interleaving). Returns the number of frames released. Releasing a
+// frame occupies the destination wire and may advance the clock, which
+// can make further frames due within the same drain.
+func (g *Gateway) drainEgress(p *gatewayPort) int {
+	if g.clock == nil {
+		return 0
+	}
+	sent := 0
+	for {
+		now := g.clock.Now()
+		var best *egressFlow
+		for _, fl := range p.flows {
+			if len(fl.queue) == 0 || fl.queue[0].due > now {
+				continue
+			}
+			if best == nil || releaseBefore(fl, best) {
+				best = fl
+			}
+		}
+		if best == nil {
+			return sent
+		}
+		f := best.queue[0].frame
+		best.queue = best.queue[1:]
+		g.forward(p, f)
+		sent++
+	}
+}
+
+// releaseBefore orders two release-eligible flows: earlier head tag
+// first, identifier as the deterministic tie-break.
+func releaseBefore(a, b *egressFlow) bool {
+	if a.queue[0].due != b.queue[0].due {
+		return a.queue[0].due < b.queue[0].due
+	}
+	if a.key.id != b.key.id {
+		return a.key.id < b.key.id
+	}
+	return !a.key.ext && b.key.ext
+}
+
+// forward re-transmits a frame on the destination segment and counts
+// the outcome: Forwarded when the wire took it (including frames the
+// impairment layer then destroys — that loss belongs to the bus's
+// Dropped counter), ForwardFailed when no receiver accepted it (the
+// frame is invalid for the destination segment, or every receiver's
+// RX queue overflowed). Before ForwardFailed existed such frames
+// vanished with no counter moving at all.
+func (g *Gateway) forward(p *gatewayPort, f Frame) {
+	res, err := p.node.send(f)
+	if err != nil || res.refused() {
+		g.stats.ForwardFailed++
+		return
+	}
+	g.stats.Forwarded++
+}
+
+// NextDeadline returns the earliest simulated time a scheduled frame
+// becomes releasable, or 0 when no port holds a gated frame. The
 // world's timer loop (transport.World.Step) treats it like a protocol
 // timer: time advances to it, then the pump releases the frame.
 func (g *Gateway) NextDeadline() time.Duration {
@@ -272,11 +399,13 @@ func (g *Gateway) NextDeadline() time.Duration {
 	defer g.mu.Unlock()
 	var min time.Duration
 	for _, p := range g.ports {
-		if len(p.egress) == 0 {
-			continue
-		}
-		if min == 0 || p.nextTxAt < min {
-			min = p.nextTxAt
+		for _, fl := range p.flows {
+			if len(fl.queue) == 0 {
+				continue
+			}
+			if due := fl.queue[0].due; min == 0 || due < min {
+				min = due
+			}
 		}
 	}
 	return min

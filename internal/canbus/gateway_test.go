@@ -49,6 +49,25 @@ func pumpAll(gws ...*Gateway) {
 	}
 }
 
+// driveAll pumps the gateways to quiescence, advancing the clock to
+// each scheduled release (store latency, egress gating) in between —
+// the canbus-level equivalent of transport.World's timer loop.
+func driveAll(clock *Clock, gws ...*Gateway) {
+	for {
+		pumpAll(gws...)
+		var dl time.Duration
+		for _, g := range gws {
+			if d := g.NextDeadline(); d > 0 && (dl == 0 || d < dl) {
+				dl = d
+			}
+		}
+		if dl == 0 {
+			return
+		}
+		clock.AdvanceTo(dl)
+	}
+}
+
 func TestGatewayForwardsAcrossThreeSegments(t *testing.T) {
 	clock := NewClock()
 	busA, _, busC, gw1, gw2 := threeSegments(t, clock, 100*time.Microsecond)
@@ -58,7 +77,7 @@ func TestGatewayForwardsAcrossThreeSegments(t *testing.T) {
 	if _, err := src.Send(Frame{ID: 0x110, BRS: true, Data: []byte{0xDE, 0xAD}}); err != nil {
 		t.Fatal(err)
 	}
-	pumpAll(gw1, gw2)
+	driveAll(clock, gw1, gw2)
 
 	f, ok := dst.Receive()
 	if !ok {
@@ -74,14 +93,201 @@ func TestGatewayForwardsAcrossThreeSegments(t *testing.T) {
 	if gw1.Stats().Forwarded != 1 || gw2.Stats().Forwarded != 1 {
 		t.Errorf("forward counts gw1=%+v gw2=%+v", gw1.Stats(), gw2.Stats())
 	}
+	if gw1.Stats().StoreTime != 100*time.Microsecond {
+		t.Errorf("gw1 store time %v, want 100µs", gw1.Stats().StoreTime)
+	}
 
 	// Reverse direction: responder ID from C reaches A.
 	if _, err := dst.Send(Frame{ID: 0x210, BRS: true, Data: []byte{0x01}}); err != nil {
 		t.Fatal(err)
 	}
-	pumpAll(gw1, gw2)
+	driveAll(clock, gw1, gw2)
 	if f, ok := src.Receive(); !ok || f.ID != 0x210 {
 		t.Fatal("reverse frame did not reach segment A")
+	}
+}
+
+// TestGatewayPumpChargesPerFrameRelease is the regression test for the
+// batch-pump latency bug: Pump used to advance the shared clock by the
+// route latency once per routed frame, so unrelated frames drained in
+// the same pump inflated each other's timestamps (two frames in one
+// pump cost 2L of global time). Store-and-forward latency must instead
+// be a per-frame scheduled release: both frames become due one latency
+// after the pump that drained them, not one after the other.
+func TestGatewayPumpChargesPerFrameRelease(t *testing.T) {
+	const latency = time.Millisecond
+	clock := NewClock()
+	busA := NewBus(PrototypeRates)
+	busB := NewBus(PrototypeRates)
+	busA.SetClock(clock)
+	busB.SetClock(clock)
+	gw := NewGateway("gw", clock)
+	if err := gw.Route(busA, busB, nil, latency); err != nil {
+		t.Fatal(err)
+	}
+	src := busA.Attach("src")
+	dst := busB.Attach("dst")
+
+	// Two unrelated conversations, both already waiting when the pump
+	// runs.
+	for _, id := range []uint32{0x110, 0x120} {
+		if _, err := src.Send(Frame{ID: id, BRS: true, Data: []byte{1}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	drained := clock.Now()
+	if moved := gw.Pump(); moved != 2 {
+		t.Fatalf("pump moved %d frames, want 2 drained", moved)
+	}
+	// Neither frame is forwarded yet — both are scheduled, due one
+	// latency after the drain, and the shared clock has not moved.
+	if dst.Pending() != 0 {
+		t.Fatalf("latency-gated frames delivered immediately")
+	}
+	if clock.Now() != drained {
+		t.Fatalf("pump advanced the shared clock %v → %v", drained, clock.Now())
+	}
+	if dl := gw.NextDeadline(); dl != drained+latency {
+		t.Fatalf("release scheduled at %v, want %v", dl, drained+latency)
+	}
+	driveAll(clock, gw)
+	if dst.Pending() != 2 {
+		t.Fatalf("delivered %d of 2 frames", dst.Pending())
+	}
+	// The old behaviour reached drained + 2L before the second frame
+	// was even stamped; per-frame scheduling finishes both releases
+	// (plus their wire times) well inside a single extra latency.
+	if end := clock.Now(); end >= drained+2*latency {
+		t.Errorf("batch pump still inflates timestamps: end %v, drained %v, latency %v", end, drained, latency)
+	}
+	if st := gw.Stats(); st.StoreTime != 2*latency || st.Forwarded != 2 || st.EgressQueued != 2 {
+		t.Errorf("stats wrong after scheduled releases: %+v", st)
+	}
+}
+
+// TestGatewayForwardFailedOnOverflow: a forward that every receiver
+// refuses (destination RX queue full) must move the ForwardFailed
+// counter instead of vanishing silently — and must not count as
+// Forwarded.
+func TestGatewayForwardFailedOnOverflow(t *testing.T) {
+	clock := NewClock()
+	busA := NewBus(PrototypeRates)
+	busB := NewBus(PrototypeRates)
+	busA.SetClock(clock)
+	busB.SetClock(clock)
+	gw := NewGateway("gw", clock)
+	if err := gw.Route(busA, busB, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	src := busA.Attach("src")
+	dst := busB.Attach("dst")
+	dst.SetRxLimit(1)
+
+	for i := 0; i < 3; i++ {
+		if _, err := src.Send(Frame{ID: 0x100, BRS: true, Data: []byte{byte(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	driveAll(clock, gw)
+	st := gw.Stats()
+	if st.Forwarded != 1 || st.ForwardFailed != 2 {
+		t.Fatalf("forwarded %d / failed %d, want 1 / 2: %+v", st.Forwarded, st.ForwardFailed, st)
+	}
+	if dst.Overflow() != 2 {
+		t.Errorf("destination counted %d overflows, want 2", dst.Overflow())
+	}
+	if st.EgressDropped != 0 {
+		t.Errorf("RX refusal leaked into EgressDropped: %+v", st)
+	}
+}
+
+// TestGatewayForwardFailedOnInvalidDestination: a frame that cannot be
+// re-transmitted on the destination segment (here: a bus with no
+// configured bit rates) is a counted forward failure, not a silent
+// one.
+func TestGatewayForwardFailedOnInvalidDestination(t *testing.T) {
+	clock := NewClock()
+	busA := NewBus(PrototypeRates)
+	busBad := NewBus(BitRates{}) // WireTime fails on the zero rates
+	busA.SetClock(clock)
+	gw := NewGateway("gw", clock)
+	if err := gw.Route(busA, busBad, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	src := busA.Attach("src")
+	busBad.Attach("dst")
+	if _, err := src.Send(Frame{ID: 0x100, BRS: true, Data: []byte{1}}); err != nil {
+		t.Fatal(err)
+	}
+	driveAll(clock, gw)
+	if st := gw.Stats(); st.ForwardFailed != 1 || st.Forwarded != 0 {
+		t.Errorf("invalid destination not counted: %+v", st)
+	}
+}
+
+// TestNextDeadlineMultipleGatedFlows pins the scheduler's deadline
+// aggregation with several simultaneously gated ports and flows: the
+// earliest release tag across every port and flow wins, and the
+// deadline is 0 exactly when nothing is gated.
+func TestNextDeadlineMultipleGatedFlows(t *testing.T) {
+	clock := NewClock()
+	busS := NewBus(PrototypeRates)
+	busFast := NewBus(PrototypeRates)
+	busSlow := NewBus(PrototypeRates)
+	for _, b := range []*Bus{busS, busFast, busSlow} {
+		b.SetClock(clock)
+	}
+	gw := NewGateway("gw", clock)
+	// Rate-gated port (1 kHz ⇒ 1 ms gap) fed by two flows, and a
+	// latency-gated uncongested port (5 ms store delay) fed by one.
+	if err := gw.Route(busS, busFast, IDRange(0x100, 0x1FF), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := gw.Route(busS, busSlow, IDRange(0x200, 0x2FF), 5*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := gw.SetEgress(busFast, EgressPolicy{Rate: 1000}); err != nil {
+		t.Fatal(err)
+	}
+	src := busS.Attach("src")
+	busFast.Attach("sinkF")
+	busSlow.Attach("sinkS")
+
+	if gw.NextDeadline() != 0 {
+		t.Fatalf("idle gateway advertises deadline %v", gw.NextDeadline())
+	}
+	// Two frames each on two rate-gated flows, one on the latency flow.
+	for _, id := range []uint32{0x110, 0x110, 0x120, 0x120, 0x210} {
+		if _, err := src.Send(Frame{ID: id, BRS: true, Data: []byte{0}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	drained := clock.Now()
+	gw.Pump()
+	// Heads of both rate-gated flows released at admission time (their
+	// virtual clocks were idle); each flow's second frame is due one
+	// gap later, the latency flow 5 ms out. Earliest deadline: the
+	// 1 ms rate gap.
+	if got, want := gw.NextDeadline(), drained+time.Millisecond; got != want {
+		t.Fatalf("NextDeadline %v, want earliest gated flow at %v", got, want)
+	}
+	if gw.EgressBacklog(busFast) != 2 || gw.EgressBacklog(busSlow) != 1 {
+		t.Fatalf("backlogs fast=%d slow=%d, want 2/1",
+			gw.EgressBacklog(busFast), gw.EgressBacklog(busSlow))
+	}
+	// Releasing the rate-gated flows leaves the latency port as the
+	// only gated one: its 5 ms tag must surface as the minimum.
+	clock.AdvanceTo(drained + time.Millisecond)
+	gw.Pump()
+	if got, want := gw.NextDeadline(), drained+5*time.Millisecond; got != want {
+		t.Fatalf("NextDeadline %v after rate drain, want latency release at %v", got, want)
+	}
+	driveAll(clock, gw)
+	if gw.NextDeadline() != 0 {
+		t.Fatalf("drained gateway still advertises deadline %v", gw.NextDeadline())
+	}
+	if st := gw.Stats(); st.Forwarded != 5 {
+		t.Errorf("forwarded %d of 5", st.Forwarded)
 	}
 }
 

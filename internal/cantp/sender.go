@@ -286,9 +286,19 @@ func (s *Sender) OnTimeout(now time.Duration) error {
 	return nil
 }
 
+// STminMax is the longest minimum-separation time a valid STmin byte
+// can encode (0x7F = 127 ms). ISO 15765-2 §9.6.5.4 directs a sender
+// that receives a reserved STmin value to pace at this maximum: a
+// malformed or corrupted FlowControl must make the sender conservative
+// (slowest legal pacing), never free-running into a receiver that
+// asked for separation it cannot name.
+const STminMax = 127 * time.Millisecond
+
 // DecodeSTmin maps a raw STmin byte to a duration per ISO 15765-2:
-// 0x00–0x7F are milliseconds, 0xF1–0xF9 are 100–900 µs, and reserved
-// values fall back to the maximum of 127 ms.
+// 0x00–0x7F are 0–127 milliseconds and 0xF1–0xF9 are 100–900 µs.
+// Every other value (the reserved ranges 0x80–0xF0 and 0xFA–0xFF) is
+// clamped to STminMax on this decode path — the sender's FlowControl
+// handling — so a reserved byte can only slow the sender down.
 func DecodeSTmin(b byte) time.Duration {
 	switch {
 	case b <= 0x7F:
@@ -296,6 +306,6 @@ func DecodeSTmin(b byte) time.Duration {
 	case b >= 0xF1 && b <= 0xF9:
 		return time.Duration(b-0xF0) * 100 * time.Microsecond
 	default:
-		return 127 * time.Millisecond
+		return STminMax
 	}
 }

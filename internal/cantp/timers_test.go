@@ -398,19 +398,67 @@ func TestReceiverRestartOnDuplicateFirstFrame(t *testing.T) {
 	}
 }
 
+// TestDecodeSTmin drives the sender's STmin decode over the full byte
+// range, table-driven by the ISO 15765-2 value classes: 0x00–0x7F are
+// milliseconds, 0xF1–0xF9 are 100–900 µs, and both reserved ranges
+// (0x80–0xF0 and 0xFA–0xFF) must clamp to the 127 ms maximum — a
+// reserved byte may only ever slow the sender down.
 func TestDecodeSTmin(t *testing.T) {
-	cases := map[byte]time.Duration{
-		0x00: 0,
-		0x14: 20 * time.Millisecond,
-		0x7F: 127 * time.Millisecond,
-		0xF1: 100 * time.Microsecond,
-		0xF9: 900 * time.Microsecond,
-		0x80: 127 * time.Millisecond, // reserved → max
-		0xFA: 127 * time.Millisecond, // reserved → max
+	classes := []struct {
+		name     string
+		lo, hi   byte
+		expected func(b byte) time.Duration
+	}{
+		{"milliseconds", 0x00, 0x7F, func(b byte) time.Duration { return time.Duration(b) * time.Millisecond }},
+		{"reserved-low", 0x80, 0xF0, func(byte) time.Duration { return STminMax }},
+		{"microseconds", 0xF1, 0xF9, func(b byte) time.Duration { return time.Duration(b-0xF0) * 100 * time.Microsecond }},
+		{"reserved-high", 0xFA, 0xFF, func(byte) time.Duration { return STminMax }},
 	}
-	for in, want := range cases {
-		if got := DecodeSTmin(in); got != want {
-			t.Errorf("DecodeSTmin(%#x) = %v, want %v", in, got, want)
+	covered := 0
+	for _, c := range classes {
+		for v := int(c.lo); v <= int(c.hi); v++ {
+			covered++
+			b := byte(v)
+			if got, want := DecodeSTmin(b), c.expected(b); got != want {
+				t.Errorf("%s: DecodeSTmin(%#02x) = %v, want %v", c.name, b, got, want)
+			}
+			if got := DecodeSTmin(b); got > STminMax {
+				t.Errorf("DecodeSTmin(%#02x) = %v exceeds the ISO maximum %v", b, got, STminMax)
+			}
+		}
+	}
+	if covered != 256 {
+		t.Fatalf("value classes cover %d of 256 STmin bytes", covered)
+	}
+}
+
+// TestSenderClampsReservedSTmin proves the clamp on the live decode
+// path: a FlowControl carrying a reserved STmin byte paces the sender
+// at the 127 ms maximum, not at a misread of the raw value.
+func TestSenderClampsReservedSTmin(t *testing.T) {
+	for _, stmin := range []byte{0x80, 0xC3, 0xF0, 0xFA, 0xFF} {
+		msg := make([]byte, 200)
+		s, err := NewSender(DefaultSenderConfig(), msg, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f := s.Next(0); f == nil || f[0]>>4 != pciFirst {
+			t.Fatal("sender did not open with a FirstFrame")
+		}
+		if err := s.OnFlowControl(FlowControlFrame(FlowContinue, 0, stmin), 0); err != nil {
+			t.Fatalf("STmin %#02x: %v", stmin, err)
+		}
+		if f := s.Next(0); f == nil {
+			t.Fatalf("STmin %#02x: first CF not released by the FC", stmin)
+		}
+		if at := s.ReadyAt(); at != STminMax {
+			t.Errorf("STmin %#02x: next CF ready at %v, want the %v clamp", stmin, at, STminMax)
+		}
+		if f := s.Next(STminMax - time.Millisecond); f != nil {
+			t.Errorf("STmin %#02x: sender paced faster than the clamp", stmin)
+		}
+		if f := s.Next(STminMax); f == nil {
+			t.Errorf("STmin %#02x: sender stuck past the clamp", stmin)
 		}
 	}
 }

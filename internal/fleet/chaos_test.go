@@ -30,6 +30,9 @@ type chaosCounts struct {
 	Retries        int
 	FailedAttempts int
 	Forwarded      int
+	ForwardFailed  int
+	EgressQueued   int
+	EgressDropped  int
 	SimTime        time.Duration
 }
 
@@ -45,7 +48,7 @@ type chaosTopology struct {
 	carriers map[ecqv.ID]*NetCarrier
 }
 
-func buildChaos(t *testing.T, seed uint64, peers []*core.Party, drop, corrupt float64) *chaosTopology {
+func buildChaos(t *testing.T, seed uint64, peers []*core.Party, drop, corrupt float64, egress canbus.EgressPolicy) *chaosTopology {
 	t.Helper()
 	w := transport.NewWorld(nil)
 	topo := &chaosTopology{world: w, carriers: map[ecqv.ID]*NetCarrier{}}
@@ -73,6 +76,21 @@ func buildChaos(t *testing.T, seed uint64, peers []*core.Party, drop, corrupt fl
 	} {
 		if err := r.gw.Route(r.from, r.to, r.filter, lat); err != nil {
 			t.Fatal(err)
+		}
+	}
+	// An egress policy congests every gateway port — the central-
+	// gateway bottleneck the fair-queuing scheduler must keep
+	// schedule-invariant.
+	if egress.Rate > 0 {
+		for _, e := range []struct {
+			gw  *canbus.Gateway
+			bus *canbus.Bus
+		}{
+			{gw1, busA}, {gw1, busB}, {gw2, busB}, {gw2, busC},
+		} {
+			if err := e.gw.SetEgress(e.bus, egress); err != nil {
+				t.Fatal(err)
+			}
 		}
 	}
 	w.AddGateway(gw1)
@@ -120,7 +138,11 @@ func (topo *chaosTopology) counts(errs []error, m *Manager) chaosCounts {
 		}
 	}
 	for _, gw := range topo.gateways {
-		c.Forwarded += gw.Stats().Forwarded
+		s := gw.Stats()
+		c.Forwarded += s.Forwarded
+		c.ForwardFailed += s.ForwardFailed
+		c.EgressQueued += s.EgressQueued
+		c.EgressDropped += s.EgressDropped
 	}
 	st := m.Stats()
 	c.Retries = st.HandshakeRetries
@@ -138,13 +160,15 @@ func conversationSeed(seed uint64, id ecqv.ID, salt uint64) uint64 {
 
 // runChaos provisions a manager and peerCount peers, brings the fleet
 // up over the impaired 3-segment topology and returns the aggregated
-// counters. Determinism at any parallelism rests on two legs: bus
-// faults are content-keyed (canbus), and every conversation draws its
+// counters. Determinism at any parallelism rests on three legs: bus
+// faults are content-keyed (canbus), every conversation draws its
 // ephemerals from a private stream — each peer's responder from a
 // per-peer reader, the manager's initiator from a per-(peer, attempt)
-// reader via SetHandshakeRand — so nothing any conversation sends
-// depends on how the scheduler interleaved the others.
-func runChaos(t *testing.T, seed uint64, peerCount int, drop, corrupt float64, attempts, parallelism int) chaosCounts {
+// reader via SetHandshakeRand — and congested gateway ports schedule
+// releases per conversation flow (fair queuing), so nothing any
+// conversation sends or waits for depends on how the scheduler
+// interleaved the others.
+func runChaos(t *testing.T, seed uint64, peerCount int, drop, corrupt float64, attempts, parallelism int, egress canbus.EgressPolicy) chaosCounts {
 	t.Helper()
 	net, err := core.NewNetwork(ec.P256(), newDetRand(int64(seed)))
 	if err != nil {
@@ -162,7 +186,7 @@ func runChaos(t *testing.T, seed uint64, peerCount int, drop, corrupt float64, a
 		peers[i].Rand = detrand.NewReader(conversationSeed(seed, peers[i].ID, 0xB0B))
 	}
 
-	topo := buildChaos(t, seed, peers, drop, corrupt)
+	topo := buildChaos(t, seed, peers, drop, corrupt, egress)
 	m, err := NewManager(self, core.OptNone, session.DefaultPolicy)
 	if err != nil {
 		t.Fatal(err)
@@ -211,7 +235,7 @@ func runChaos(t *testing.T, seed uint64, peerCount int, drop, corrupt float64, a
 // invariant to.
 func TestChaosThreeSegmentFleet(t *testing.T) {
 	const seed = 42
-	first := runChaos(t, seed, 8, 0.05, 0.01, 10, 8)
+	first := runChaos(t, seed, 8, 0.05, 0.01, 10, 8, canbus.EgressPolicy{})
 	if first.Errors != 0 {
 		t.Fatalf("%d of 8 handshakes failed under 5%%/1%% impairment", first.Errors)
 	}
@@ -227,13 +251,13 @@ func TestChaosThreeSegmentFleet(t *testing.T) {
 
 	// Three consecutive concurrent runs, bit-for-bit identical.
 	for run := 2; run <= 3; run++ {
-		again := runChaos(t, seed, 8, 0.05, 0.01, 10, 8)
+		again := runChaos(t, seed, 8, 0.05, 0.01, 10, 8, canbus.EgressPolicy{})
 		if first != again {
 			t.Fatalf("same seed diverged on concurrent run %d:\nrun1 %+v\nrun%d %+v", run, first, run, again)
 		}
 	}
 
-	other := runChaos(t, seed+1, 8, 0.05, 0.01, 10, 8)
+	other := runChaos(t, seed+1, 8, 0.05, 0.01, 10, 8, canbus.EgressPolicy{})
 	if other.Errors != 0 {
 		t.Fatalf("seed %d: %d handshakes failed", seed+1, other.Errors)
 	}
@@ -248,14 +272,52 @@ func TestChaosThreeSegmentFleet(t *testing.T) {
 // every counter, including simulated time.
 func TestChaosScheduleInvariance(t *testing.T) {
 	const seed = 77
-	serial := runChaos(t, seed, 6, 0.02, 0.005, 10, 1)
+	serial := runChaos(t, seed, 6, 0.02, 0.005, 10, 1, canbus.EgressPolicy{})
 	if serial.Errors != 0 {
 		t.Fatalf("serial bring-up failed: %+v", serial)
 	}
 	for _, parallelism := range []int{3, 8} {
-		conc := runChaos(t, seed, 6, 0.02, 0.005, 10, parallelism)
+		conc := runChaos(t, seed, 6, 0.02, 0.005, 10, parallelism, canbus.EgressPolicy{})
 		if conc != serial {
 			t.Fatalf("parallelism %d changed the trace:\nserial   %+v\nparallel %+v", parallelism, serial, conc)
+		}
+	}
+}
+
+// TestChaosCongestedGatewayScheduleInvariance is the assertion PR 4
+// could not make: on a topology whose gateways are egress-congested
+// (rate-limited ports with bounded queues), a serial bring-up and
+// concurrent ones must still agree on every counter bit-for-bit —
+// simulated end time included. The shared egress FIFO coupled
+// conversations through one next-transmit time and through arrival
+// order, so this equality only holds now that each conversation flow
+// is scheduled by its own virtual clock (start-time fair queuing).
+func TestChaosCongestedGatewayScheduleInvariance(t *testing.T) {
+	const seed = 1234
+	// 1200 frames/s ⇒ an ~833 µs release gap, about twice a full
+	// CAN-FD frame's wire time: real backlogs build on every port
+	// without starving the ISO-TP timers.
+	egress := canbus.EgressPolicy{Rate: 1200, Queue: 256}
+	open := runChaos(t, seed, 6, 0.02, 0.005, 10, 1, canbus.EgressPolicy{})
+	serial := runChaos(t, seed, 6, 0.02, 0.005, 10, 1, egress)
+	if serial.Errors != 0 {
+		t.Fatalf("serial congested bring-up failed: %+v", serial)
+	}
+	// The rate limit must demonstrably engage before the invariance
+	// comparison means anything. EgressQueued alone cannot show that —
+	// store-latency scheduling moves it on every topology — but the
+	// ~17× serialization gap has to cost simulated time against the
+	// identical scenario on uncongested gateways.
+	if serial.SimTime <= open.SimTime {
+		t.Fatalf("egress rate limit never engaged — congested bring-up (%v) not slower than uncongested (%v)", serial.SimTime, open.SimTime)
+	}
+	if serial.BusDropped == 0 || serial.Retransmits+serial.MessageResends+serial.Retries == 0 {
+		t.Fatalf("impairment forced no recovery under congestion: %+v", serial)
+	}
+	for _, parallelism := range []int{3, 8} {
+		conc := runChaos(t, seed, 6, 0.02, 0.005, 10, parallelism, egress)
+		if conc != serial {
+			t.Fatalf("parallelism %d changed the congested trace:\nserial   %+v\nparallel %+v", parallelism, serial, conc)
 		}
 	}
 }
@@ -263,7 +325,7 @@ func TestChaosScheduleInvariance(t *testing.T) {
 // TestChaosLossless proves the network carrier costs nothing on a
 // clean fabric: no retries, no retransmissions, no failed attempts.
 func TestChaosLossless(t *testing.T) {
-	c := runChaos(t, 7, 4, 0, 0, 3, 1)
+	c := runChaos(t, 7, 4, 0, 0, 3, 1, canbus.EgressPolicy{})
 	if c.Errors != 0 {
 		t.Fatalf("lossless bring-up failed: %+v", c)
 	}
@@ -282,7 +344,7 @@ func TestChaosRetryExhaustion(t *testing.T) {
 	self, _ := net.Provision("gw")
 	peer, _ := net.Provision("unreachable")
 
-	topo := buildChaos(t, 99, []*core.Party{peer}, 1.0, 0)
+	topo := buildChaos(t, 99, []*core.Party{peer}, 1.0, 0, canbus.EgressPolicy{})
 	m, _ := NewManager(self, core.OptNone, session.DefaultPolicy)
 	m.SetRetryPolicy(RetryPolicy{MaxAttempts: 3})
 	m.SetCarrier(func(p *core.Party) (Carrier, error) { return topo.carriers[p.ID], nil })

@@ -12,7 +12,10 @@ import (
 // SchemaVersion stamps every Result; the CI schema-drift check and
 // external consumers key on it. Bump it on any breaking change to the
 // Result/Point/StepAccount shapes.
-const SchemaVersion = 1
+//
+// v2: StepAccount gained queue_time_us (per-step queueing delay under
+// congested gateways).
+const SchemaVersion = 2
 
 // Result is one scenario's complete measurement output.
 type Result struct {
@@ -55,6 +58,11 @@ type StepAccount struct {
 	Aborted       int     `json:"aborted"`
 	PayloadBytes  int     `json:"payload_bytes"`
 	WireTimeUS    float64 `json:"wire_time_us"`
+	// QueueTimeUS is the simulated time this step's completed
+	// deliveries spent in the fabric after their last frame left the
+	// sender — store-and-forward and egress-gating delay, the per-step
+	// price of a congested gateway.
+	QueueTimeUS float64 `json:"queue_time_us"`
 }
 
 // Point is the measurement at one sweep value.
@@ -117,6 +125,7 @@ func stepAccounts(snap map[byte]transport.StepCost) []StepAccount {
 			Aborted:       c.Aborted,
 			PayloadBytes:  c.PayloadBytes,
 			WireTimeUS:    us(c.WireTime),
+			QueueTimeUS:   us(c.QueueTime),
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Step < out[j].Step })

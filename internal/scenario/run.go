@@ -217,8 +217,8 @@ func (s Scenario) runPoint(v float64, axis Axis, tr *tracer) (Point, error) {
 	fab.counters(&pt)
 
 	for _, sa := range pt.Steps {
-		tr.printf("step %s messages=%d frames=%d retransmits=%d waits=%d resends=%d aborted=%d payload=%d wire=%.3fus\n",
-			sa.Step, sa.Messages, sa.Frames, sa.Retransmits, sa.WaitsHonoured, sa.Resends, sa.Aborted, sa.PayloadBytes, sa.WireTimeUS)
+		tr.printf("step %s messages=%d frames=%d retransmits=%d waits=%d resends=%d aborted=%d payload=%d wire=%.3fus queue=%.3fus\n",
+			sa.Step, sa.Messages, sa.Frames, sa.Retransmits, sa.WaitsHonoured, sa.Resends, sa.Aborted, sa.PayloadBytes, sa.WireTimeUS, sa.QueueTimeUS)
 	}
 	tr.printf("summary errors=%d handshakes=%d retries=%d failed=%d retransmits=%d resends=%d integrity_drops=%d protocol_drops=%d dropped=%d corrupted=%d duplicated=%d rx_overflow=%d forwarded=%d egress_dropped=%d sim=%dns\n",
 		pt.Errors, pt.Handshakes, pt.Retries, pt.FailedAttempts, pt.Retransmits, pt.MessageResends,

@@ -191,6 +191,76 @@ func TestEgressCongestionSlowsBringup(t *testing.T) {
 	}
 }
 
+// TestCongestedBringupScheduleInvariant is the engine-level version of
+// the fleet chaos assertion: a bring-up sweep through egress-congested
+// gateways measures the identical Result — every counter, latency and
+// simulated time — at any EstablishAll parallelism. This was the
+// documented hole PR 4 left open ("keep parallelism 1 there").
+func TestCongestedBringupScheduleInvariant(t *testing.T) {
+	base := smallScenario(WorkloadBringup)
+	base.Name = "congested-invariance"
+	// 600 frames/s ⇒ ~1.7 ms release gap per conversation flow:
+	// solidly congested next to the ~0.4 ms frame wire time.
+	base.Egress = canbus.EgressPolicy{Rate: 600, Queue: 128}
+	base.SweepAxis = AxisDrop
+	base.SweepPoints = []float64{0, 0.03}
+
+	serial := base
+	serial.Parallelism = 1
+	want, err := Run(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range want.Points {
+		if pt.Errors != 0 {
+			t.Fatalf("congested serial sweep failed handshakes: %+v", pt)
+		}
+	}
+	for _, parallelism := range []int{3, 8} {
+		conc := base
+		conc.Parallelism = parallelism
+		got, err := Run(conc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("parallelism %d changed the congested sweep:\nserial   %+v\nparallel %+v", parallelism, want, got)
+		}
+	}
+}
+
+// TestQueueTimeAccountedUnderCongestion: the per-step rows of a
+// congested run must carry queueing delay, and an uncongested run must
+// not.
+func TestQueueTimeAccountedUnderCongestion(t *testing.T) {
+	open := smallScenario(WorkloadLatency)
+	open.Profile = Profile{}
+	congested := open
+	congested.Egress = canbus.EgressPolicy{Rate: 200}
+
+	rOpen, err := Run(open)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rCong, err := Run(congested)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := func(r *Result) float64 {
+		var q float64
+		for _, sa := range r.Points[0].Steps {
+			q += sa.QueueTimeUS
+		}
+		return q
+	}
+	if q := sum(rCong); q <= 0 {
+		t.Errorf("congested run accounted no per-step queueing delay: %+v", rCong.Points[0].Steps)
+	}
+	if q := sum(rOpen); q >= sum(rCong) {
+		t.Errorf("uncongested queue time %.1fus not below congested %.1fus", q, sum(rCong))
+	}
+}
+
 func TestValidateJSONRoundTrip(t *testing.T) {
 	s := smallScenario(WorkloadLatency)
 	res, err := Run(s)
@@ -289,9 +359,11 @@ func TestScenarioValidation(t *testing.T) {
 		{Name: "x", Peers: 2, SweepAxis: "phase"},
 		{Name: "x", Peers: 2, SweepPoints: []float64{0.5}}, // points without axis
 		{Name: "x", Peers: 2, SweepAxis: AxisDrop, SweepPoints: []float64{2}},
-		// Rate-limited egress couples conversations through the shared
-		// queue: not schedule-invariant, so concurrency is rejected.
-		{Name: "x", Peers: 2, Egress: canbus.EgressPolicy{Rate: 100}, Parallelism: 4},
+		// The one egress × concurrency corner that is still not
+		// schedule-invariant: a trailing duplicate can be gated when
+		// the workload ends, so which run counts it is scheduling.
+		{Name: "x", Peers: 2, Egress: canbus.EgressPolicy{Rate: 100}, Parallelism: 4, Profile: Profile{Duplicate: 0.05}},
+		{Name: "x", Peers: 2, Egress: canbus.EgressPolicy{Rate: 100}, Parallelism: 4, SweepAxis: AxisDuplicate, SweepPoints: []float64{0.05}},
 	}
 	for i, s := range bad {
 		if err := s.Validate(); err == nil {
@@ -301,6 +373,14 @@ func TestScenarioValidation(t *testing.T) {
 	good := smallScenario(WorkloadLatency)
 	if err := good.Validate(); err != nil {
 		t.Errorf("good scenario rejected: %v", err)
+	}
+	// The fair-queuing scheduler made congested concurrent sweeps
+	// schedule-invariant, so (absent duplication) they validate now.
+	congested := smallScenario(WorkloadBringup)
+	congested.Egress = canbus.EgressPolicy{Rate: 400, Queue: 64}
+	congested.Parallelism = 8
+	if err := congested.Validate(); err != nil {
+		t.Errorf("congested concurrent scenario rejected: %v", err)
 	}
 }
 

@@ -30,6 +30,13 @@ type StepCost struct {
 	PayloadBytes int
 	// WireTime is the cumulative bus occupancy of the counted frames.
 	WireTime time.Duration
+	// QueueTime is the cumulative simulated time completed deliveries
+	// of this opcode spent in the fabric after their last frame left
+	// the sender — gateway store-and-forward releases, egress gating
+	// behind a congested port and terminal servicing at the receiver.
+	// It is the per-step price of congestion, where WireTime is the
+	// per-step price of bandwidth.
+	QueueTime time.Duration
 }
 
 // Accounting attributes per-send costs to opcodes across every

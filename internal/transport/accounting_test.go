@@ -41,6 +41,9 @@ func TestAccountingAttributesCostsToOpcodes(t *testing.T) {
 	if bc.Retransmits != 0 || bc.Resends != 0 || sc.Retransmits != 0 || sc.Resends != 0 {
 		t.Errorf("lossless run charged recovery: %+v %+v", bc, sc)
 	}
+	if bc.QueueTime != 0 || sc.QueueTime != 0 {
+		t.Errorf("uncongested single-segment run charged queueing delay: %+v %+v", bc, sc)
+	}
 }
 
 func TestAccountingCountsRecoveryPerStep(t *testing.T) {
@@ -101,7 +104,9 @@ func TestReliableAcrossRateLimitedGateway(t *testing.T) {
 	}
 	w.AddGateway(gw)
 
+	acc := NewAccounting()
 	acfg, bcfg := DefaultConfig(), DefaultConfig()
+	acfg.Accounting = acc
 	acfg.AcceptID, bcfg.AcceptID = 0x200, 0x100
 	a := NewReliableEndpoint(w, busA.Attach("a"), 0x100, acfg)
 	b := NewReliableEndpoint(w, busB.Attach("b"), 0x200, bcfg)
@@ -130,5 +135,16 @@ func TestReliableAcrossRateLimitedGateway(t *testing.T) {
 	}
 	if a.Stats().AbortedSends != 0 {
 		t.Errorf("congestion aborted the send: %+v", a.Stats())
+	}
+	// The per-step accounting must attribute the congestion: the
+	// message's opcode pays queueing delay on top of its wire time —
+	// the tail of the transfer waited for egress releases after the
+	// sender's last frame.
+	c := acc.Snapshot()[7]
+	if c.QueueTime <= 0 {
+		t.Errorf("congested delivery charged no queueing delay: %+v", c)
+	}
+	if c.QueueTime >= elapsed {
+		t.Errorf("queueing delay %v exceeds the whole delivery %v", c.QueueTime, elapsed)
 	}
 }

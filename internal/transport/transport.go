@@ -258,6 +258,17 @@ func (e *Endpoint) accountResend(op byte) {
 	e.cfg.Accounting.record(op, func(c *StepCost) { c.Resends++ })
 }
 
+// accountQueueDelay attributes the post-send transit delay of a
+// completed delivery (Link.Deliver) — store-and-forward and egress
+// releases between the sender's last frame and the message surfacing
+// at the destination — to the message's opcode.
+func (e *Endpoint) accountQueueDelay(op byte, d time.Duration) {
+	if e.cfg.Accounting == nil || d <= 0 {
+		return
+	}
+	e.cfg.Accounting.record(op, func(c *StepCost) { c.QueueTime += d })
+}
+
 // send is the unaccounted transmit path behind Send.
 func (e *Endpoint) send(m Message) (time.Duration, error) {
 	payload := m.Encode()

@@ -182,8 +182,14 @@ func (l *Link) Deliver(src, dst *Endpoint, m Message) (Message, error) {
 			}
 			continue
 		}
+		// Everything from here to completion is transit, not
+		// transmission: the sender is done, and any simulated time that
+		// passes is the fabric releasing gated frames. Charge it to the
+		// message's step as queueing delay when the delivery completes.
+		sent := l.World.Clock.Now()
 		l.World.Run()
 		if got, ok := dst.TryPoll(); ok {
+			src.accountQueueDelay(m.OpCode, l.World.Clock.Now()-sent)
 			return got, nil
 		}
 		// Nothing completed yet: the tail of the transfer is either
@@ -198,6 +204,7 @@ func (l *Link) Deliver(src, dst *Endpoint, m Message) (Message, error) {
 		for l.World.Clock.Now() < deadline {
 			l.World.Step(deadline)
 			if got, ok := dst.TryPoll(); ok {
+				src.accountQueueDelay(m.OpCode, l.World.Clock.Now()-sent)
 				return got, nil
 			}
 		}
