@@ -10,7 +10,7 @@ SHELL := /bin/bash
 BENCH_COMPARE ?= BenchmarkScalarMultAblation|BenchmarkFig3_STSOperations|BenchmarkLiveHandshake
 BENCH_COUNT ?= 5
 
-.PHONY: build test race test-purebig bench bench-smoke bench-compare bench-alloc bench-scenarios scenario-smoke fuzz-smoke fmt fmt-check vet lint cover
+.PHONY: build test race race-parallel test-purebig bench bench-smoke bench-compare bench-alloc bench-scenarios scenario-smoke parallel-invariance fuzz-smoke fmt fmt-check vet lint cover
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,14 @@ test:
 # a bug, not load.
 race:
 	$(GO) test -race -timeout 10m ./...
+
+# The parallel sweep path alone under the race detector: concurrent
+# isolated worlds with tracing enabled, nested EstablishAll
+# concurrency inside each point (used by CI as a dedicated gate — the
+# full `race` target covers it too, but a dedicated run keeps the
+# fabric's concurrency story falsifiable on its own).
+race-parallel:
+	$(GO) test -race -timeout 5m -run 'TestParallelSweep' -v ./internal/scenario
 
 # The math/big oracle backend — the differential reference for the
 # fixed-limb fp backend — must stay green (used by CI).
@@ -65,7 +73,7 @@ bench-alloc:
 # (plus the CLI's serial-reference self-check inside each run) and the
 # two JSON outputs must be byte-identical — the fair-queuing egress
 # scheduler is what makes this combination reproducible at all.
-scenario-smoke:
+scenario-smoke: parallel-invariance
 	$(GO) run ./cmd/scenario -name smoke -peers 4 -segments 3 \
 		-sweep drop:0,0.05,0.10 -attempts 10 \
 		-json scenario-smoke.json -csv scenario-smoke.csv
@@ -79,6 +87,32 @@ scenario-smoke:
 	cmp congested-smoke-a.json congested-smoke-b.json
 	$(GO) run ./cmd/scenario -validate congested-smoke-a.json
 
+# The parallel-invariance gate: the same 8-point impaired sweep runs
+# at -workers 1 and -workers 8 (each also emitting its full fault/
+# recovery trace), and the JSON, CSV and trace outputs must be
+# byte-identical — sweep-point fan-out may only change wall clock,
+# never a measurement. A shared-capacity egress sweep rides the same
+# gate: points never share a port, so even the flow-coupled scheduler
+# is worker-invariant.
+PARINV := -peers 4 -segments 3 -seed 42 -corrupt 0.01 \
+	-sweep drop:0,0.01,0.02,0.03,0.04,0.05,0.06,0.08
+parallel-invariance:
+	$(GO) run ./cmd/scenario -name par-inv $(PARINV) -workers 1 \
+		-json par-inv-w1.json -csv par-inv-w1.csv -trace par-inv-w1.trace >/dev/null
+	$(GO) run ./cmd/scenario -name par-inv $(PARINV) -workers 8 \
+		-json par-inv-w8.json -csv par-inv-w8.csv -trace par-inv-w8.trace >/dev/null
+	cmp par-inv-w1.json par-inv-w8.json
+	cmp par-inv-w1.csv par-inv-w8.csv
+	cmp par-inv-w1.trace par-inv-w8.trace
+	$(GO) run ./cmd/scenario -name par-inv-shared -workload bringup -peers 4 -segments 3 \
+		-egress-rate 400 -egress-queue 64 -egress-shared -sweep drop:0,0.02 \
+		-workers 1 -json par-inv-shared-w1.json >/dev/null
+	$(GO) run ./cmd/scenario -name par-inv-shared -workload bringup -peers 4 -segments 3 \
+		-egress-rate 400 -egress-queue 64 -egress-shared -sweep drop:0,0.02 \
+		-workers 8 -json par-inv-shared-w8.json >/dev/null
+	cmp par-inv-shared-w1.json par-inv-shared-w8.json
+	$(GO) run ./cmd/scenario -validate par-inv-w8.json
+
 # Regenerate the committed BENCH_scenarios.json trajectory (the
 # canonical degraded-bus curves; simulated time, host-independent).
 bench-scenarios:
@@ -90,6 +124,11 @@ bench-scenarios:
 		-egress-rate 600 -egress-queue 256 -bench BENCH_scenarios.json >/dev/null
 	$(GO) run ./cmd/scenario -name congested-gateway-bringup-8way -workload bringup -peers 8 \
 		-egress-rate 600 -egress-queue 256 -parallelism 8 -check-invariance \
+		-bench BENCH_scenarios.json >/dev/null
+	$(GO) run ./cmd/scenario -name parallel-sweep-8pt $(PARINV) -workers 8 \
+		-check-invariance -bench BENCH_scenarios.json >/dev/null
+	$(GO) run ./cmd/scenario -name shared-gateway-bringup -workload bringup -peers 8 \
+		-egress-rate 600 -egress-queue 256 -egress-shared \
 		-bench BENCH_scenarios.json >/dev/null
 
 # Brief fuzzing of the protocol parsers (committed corpora under

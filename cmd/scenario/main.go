@@ -7,9 +7,10 @@
 //
 // Examples:
 //
-//	# Latency-vs-loss curve, 8 peers across 3 segments, 0–10% loss:
+//	# Latency-vs-loss curve, 8 peers across 3 segments, 0–10% loss,
+//	# sweep points fanned out one per core (byte-identical to -workers 1):
 //	scenario -peers 8 -sweep drop:0,0.02,0.04,0.06,0.08,0.10 \
-//	         -json curve.json -csv curve.csv
+//	         -workers 0 -json curve.json -csv curve.csv
 //
 //	# Fleet bring-up under churn behind a congested gateway:
 //	scenario -workload churn -peers 8 -egress-rate 800 -json churn.json
@@ -24,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"runtime"
 	"strconv"
@@ -46,29 +48,31 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("scenario", flag.ContinueOnError)
 	var (
-		name        = fs.String("name", "", "scenario name (defaults to workload-axis)")
-		workload    = fs.String("workload", "latency", "workload: latency | bringup | churn")
-		peers       = fs.Int("peers", 8, "fleet size")
-		segments    = fs.Int("segments", 3, "CAN segments in the gateway chain")
-		seed        = fs.Uint64("seed", 42, "impairment and randomness seed")
-		attempts    = fs.Int("attempts", 10, "per-handshake retry budget")
-		parallelism = fs.Int("parallelism", 1, "EstablishAll workers (bringup/churn)")
-		churnRounds = fs.Int("churn-rounds", 3, "drop/re-establish rounds (churn)")
-		gwLatency   = fs.Duration("gateway-latency", 50*time.Microsecond, "store-and-forward latency per hop")
-		egressRate  = fs.Float64("egress-rate", 0, "gateway egress rate limit in frames/s (0 = uncongested)")
-		egressQueue = fs.Int("egress-queue", 0, "gateway egress queue bound (0 = unbounded; needs -egress-rate)")
-		drop        = fs.Float64("drop", 0, "base frame drop rate [0,1]")
-		corrupt     = fs.Float64("corrupt", 0, "base frame corruption rate [0,1]")
-		duplicate   = fs.Float64("duplicate", 0, "base frame duplication rate [0,1]")
-		delayRate   = fs.Float64("delay-rate", 0, "base frame delay rate [0,1]")
-		delay       = fs.Duration("delay", 0, "extra latency per delayed frame (with -delay-rate)")
-		sweep       = fs.String("sweep", "", "sweep spec: [axis:]p1,p2,... (axis: drop | corrupt | duplicate)")
-		jsonPath    = fs.String("json", "", "write the result JSON here ('-' or empty = stdout)")
-		csvPath     = fs.String("csv", "", "also write the flattened curve CSV here")
-		tracePath   = fs.String("trace", "", "also write the full fault/recovery trace here")
-		benchPath   = fs.String("bench", "", "append the result to this benchmark trajectory file")
-		validate    = fs.String("validate", "", "validate an emitted JSON file against the schema and exit")
-		checkInv    = fs.Bool("check-invariance", false, "re-run the scenario serially (parallelism 1) and fail unless the results are byte-identical — the schedule-invariance self-check")
+		name         = fs.String("name", "", "scenario name (defaults to workload-axis)")
+		workload     = fs.String("workload", "latency", "workload: latency | bringup | churn")
+		peers        = fs.Int("peers", 8, "fleet size")
+		segments     = fs.Int("segments", 3, "CAN segments in the gateway chain")
+		seed         = fs.Uint64("seed", 42, "impairment and randomness seed")
+		attempts     = fs.Int("attempts", 10, "per-handshake retry budget")
+		parallelism  = fs.Int("parallelism", 1, "EstablishAll workers (bringup/churn)")
+		churnRounds  = fs.Int("churn-rounds", 3, "drop/re-establish rounds (churn)")
+		gwLatency    = fs.Duration("gateway-latency", 50*time.Microsecond, "store-and-forward latency per hop")
+		egressRate   = fs.Float64("egress-rate", 0, "gateway egress rate limit in frames/s (0 = uncongested)")
+		egressQueue  = fs.Int("egress-queue", 0, "gateway egress queue bound (0 = unbounded; needs -egress-rate)")
+		egressShared = fs.Bool("egress-shared", false, "egress rate caps each port's aggregate throughput, divided fairly across flows (default: per conversation flow; needs -egress-rate)")
+		workers      = fs.Int("workers", 1, "sweep points simulated concurrently, each on an isolated fabric (0 = one per core); JSON, CSV and trace output are byte-identical for any value")
+		drop         = fs.Float64("drop", 0, "base frame drop rate [0,1]")
+		corrupt      = fs.Float64("corrupt", 0, "base frame corruption rate [0,1]")
+		duplicate    = fs.Float64("duplicate", 0, "base frame duplication rate [0,1]")
+		delayRate    = fs.Float64("delay-rate", 0, "base frame delay rate [0,1]")
+		delay        = fs.Duration("delay", 0, "extra latency per delayed frame (with -delay-rate)")
+		sweep        = fs.String("sweep", "", "sweep spec: [axis:]p1,p2,... (axis: drop | corrupt | duplicate)")
+		jsonPath     = fs.String("json", "", "write the result JSON here ('-' or empty = stdout)")
+		csvPath      = fs.String("csv", "", "also write the flattened curve CSV here")
+		tracePath    = fs.String("trace", "", "also write the full fault/recovery trace here")
+		benchPath    = fs.String("bench", "", "append the result to this benchmark trajectory file")
+		validate     = fs.String("validate", "", "validate an emitted JSON file against the schema and exit")
+		checkInv     = fs.Bool("check-invariance", false, "re-run the scenario serially (parallelism 1) and fail unless the results are byte-identical — the schedule-invariance self-check")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -87,6 +91,9 @@ func run(args []string, stdout io.Writer) error {
 		return nil
 	}
 
+	if *workers < 0 {
+		return fmt.Errorf("-workers must be ≥ 0 (0 = one worker per core), got %d", *workers)
+	}
 	axis, points, err := parseSweep(*sweep)
 	if err != nil {
 		return err
@@ -97,7 +104,7 @@ func run(args []string, stdout io.Writer) error {
 		Peers:          *peers,
 		Segments:       *segments,
 		GatewayLatency: *gwLatency,
-		Egress:         canbus.EgressPolicy{Rate: *egressRate, Queue: *egressQueue},
+		Egress:         canbus.EgressPolicy{Rate: *egressRate, Queue: *egressQueue, Shared: *egressShared},
 		Profile:        scenario.Profile{Drop: *drop, Corrupt: *corrupt, Duplicate: *duplicate, DelayRate: *delayRate, Delay: *delay},
 		Workload:       scenario.Workload(*workload),
 		SweepAxis:      axis,
@@ -116,21 +123,26 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 
+	opts := scenario.Options{Workers: *workers}
 	var res *scenario.Result
+	var timing *scenario.Timing
 	if *tracePath != "" {
 		err = writeFile(*tracePath, func(f *os.File) error {
-			res, err = scenario.RunTraced(s, f)
+			res, timing, err = scenario.RunTracedWith(s, f, opts)
 			return err
 		})
 	} else {
-		res, err = scenario.Run(s)
+		res, timing, err = scenario.RunWith(s, opts)
 	}
 	if err != nil {
 		return err
 	}
+	fmt.Fprintf(os.Stderr, "timing: workers=%d wall=%s max_in_flight=%d points=%d\n",
+		timing.Workers, timing.WallClock.Round(time.Millisecond), timing.MaxInFlight, len(res.Points))
 
+	var serialWall time.Duration
 	if *checkInv {
-		if err := checkInvariance(s, res, stdout); err != nil {
+		if serialWall, err = checkInvariance(s, res, timing, stdout); err != nil {
 			return err
 		}
 	}
@@ -148,41 +160,62 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 	if *benchPath != "" {
-		if err := appendBench(*benchPath, res); err != nil {
+		if err := appendBench(*benchPath, res, timing, serialWall); err != nil {
 			return err
 		}
+	}
+	if failed := failedPoints(res); failed > 0 {
+		// The sweep survives pathological points by design; say so
+		// loudly without poisoning the structured output on stdout.
+		fmt.Fprintf(os.Stderr, "scenario: %d of %d sweep points failed; each failure is recorded on its point in the result\n",
+			failed, len(res.Points))
 	}
 	return nil
 }
 
-// checkInvariance re-runs the scenario at parallelism 1 and compares
-// the two results byte-for-byte: with content-keyed faults, private
-// per-conversation randomness and fair-queuing gateway egress, a
-// measured curve must be a function of the scenario definition alone,
-// never of how the workers were scheduled. (At parallelism 1 this
-// degrades to a same-seed replay determinism check, which is still a
-// meaningful gate.)
-func checkInvariance(s scenario.Scenario, res *scenario.Result, stdout io.Writer) error {
+// failedPoints counts points that recorded a point-level failure.
+func failedPoints(res *scenario.Result) int {
+	n := 0
+	for _, p := range res.Points {
+		if p.Error != "" {
+			n++
+		}
+	}
+	return n
+}
+
+// checkInvariance re-runs the scenario fully serially — one sweep
+// worker, EstablishAll parallelism 1 — and compares the two results
+// byte-for-byte: with isolated per-point fabrics, content-keyed
+// faults, private per-conversation randomness and fair-queuing
+// gateway egress, a measured curve must be a function of the scenario
+// definition alone, never of how the workers were scheduled. (On an
+// already-serial run this degrades to a same-seed replay determinism
+// check, which is still a meaningful gate.) It returns the serial
+// reference's wall-clock time, which the bench trajectory records as
+// the parallel run's speedup baseline.
+func checkInvariance(s scenario.Scenario, res *scenario.Result, timing *scenario.Timing, stdout io.Writer) (time.Duration, error) {
 	serial := s
 	serial.Parallelism = 1
-	ref, err := scenario.Run(serial)
+	ref, serialTiming, err := scenario.RunWith(serial, scenario.Options{Workers: 1})
 	if err != nil {
-		return fmt.Errorf("invariance self-check rerun: %w", err)
+		return 0, fmt.Errorf("invariance self-check rerun: %w", err)
 	}
 	got, err := json.Marshal(res)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	want, err := json.Marshal(ref)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	if !bytes.Equal(got, want) {
-		return fmt.Errorf("schedule-invariance self-check FAILED: parallelism %d diverged from the serial reference (%d vs %d bytes)",
-			s.Parallelism, len(got), len(want))
+		return 0, fmt.Errorf("schedule-invariance self-check FAILED: workers %d / parallelism %d diverged from the serial reference (%d vs %d bytes)",
+			timing.Workers, s.Parallelism, len(got), len(want))
 	}
-	fmt.Fprintf(stdout, "invariance: parallelism %d == serial reference (%d identical bytes)\n", s.Parallelism, len(got))
-	return nil
+	fmt.Fprintf(stdout, "invariance: workers %d / parallelism %d == serial reference (%d identical bytes)\n",
+		timing.Workers, s.Parallelism, len(got))
+	return serialTiming.WallClock, nil
 }
 
 // parseSweep decodes "[axis:]p1,p2,...": an optional axis prefix
@@ -223,18 +256,46 @@ func writeFile(path string, emit func(*os.File) error) error {
 // BENCH_scenarios.json: a self-describing header plus the accumulated
 // scenario results.
 type benchFile struct {
-	Paper       string             `json:"paper"`
-	Title       string             `json:"title"`
-	Date        string             `json:"date"`
-	Host        string             `json:"host"`
-	Methodology string             `json:"methodology"`
-	Scenarios   []*scenario.Result `json:"scenarios"`
+	Paper       string        `json:"paper"`
+	Title       string        `json:"title"`
+	Date        string        `json:"date"`
+	Host        string        `json:"host"`
+	Methodology string        `json:"methodology"`
+	Scenarios   []*benchEntry `json:"scenarios"`
+}
+
+// benchEntry is one trajectory entry: the measurement (simulated time,
+// host-independent) plus the wall clock the engine spent producing it
+// (real time, the one host-dependent number — the multi-core speedup
+// evidence).
+type benchEntry struct {
+	*scenario.Result
+	WallClock *wallClock `json:"wall_clock,omitempty"`
+}
+
+// wallClock records the engine's real execution cost for one entry.
+type wallClock struct {
+	// Workers is the sweep-point worker count of the run.
+	Workers int `json:"workers"`
+	// TotalMS is the wall-clock time of the whole sweep.
+	TotalMS float64 `json:"total_ms"`
+	// PointMS is each point's wall-clock time, index-aligned with
+	// points; their sum exceeding total_ms means points overlapped.
+	PointMS []float64 `json:"point_ms"`
+	// MaxInFlight is the peak number of points simulating
+	// concurrently.
+	MaxInFlight int `json:"max_in_flight"`
+	// SerialMS and SpeedupVsSerial are recorded when the run was
+	// -check-invariance armed: the byte-identical serial reference's
+	// wall clock, and total speedup over it.
+	SerialMS        float64 `json:"serial_ms,omitempty"`
+	SpeedupVsSerial float64 `json:"speedup_vs_serial,omitempty"`
 }
 
 // appendBench adds the result to the trajectory file, replacing a
 // previous entry with the same scenario name so re-runs update in
 // place.
-func appendBench(path string, res *scenario.Result) error {
+func appendBench(path string, res *scenario.Result, timing *scenario.Timing, serialWall time.Duration) error {
 	doc := benchFile{
 		Paper: "conf_date_BasicSK23",
 		Title: "Degraded-bus measurement scenarios (cmd/scenario)",
@@ -242,13 +303,15 @@ func appendBench(path string, res *scenario.Result) error {
 		Methodology: "go run ./cmd/scenario — seeded, content-keyed fault injection on the " +
 			"simulated multi-segment CAN fabric; all times are simulated (wire occupancy + " +
 			"gateway store-and-forward + protocol timers), so curves are exactly reproducible " +
-			"from the scenario definition and independent of host speed.",
+			"from the scenario definition and independent of host speed. wall_clock is the one " +
+			"host-dependent block: the real time the engine spent, with sweep points fanned " +
+			"out across -workers cores.",
 	}
 	// Only the accumulated scenarios survive from an existing file;
 	// every header field describes this run and this tool version.
 	if data, err := os.ReadFile(path); err == nil {
 		var prev struct {
-			Scenarios []*scenario.Result `json:"scenarios"`
+			Scenarios []*benchEntry `json:"scenarios"`
 		}
 		if err := json.Unmarshal(data, &prev); err != nil {
 			return fmt.Errorf("existing %s unreadable: %w", path, err)
@@ -262,7 +325,24 @@ func appendBench(path string, res *scenario.Result) error {
 			kept = append(kept, r)
 		}
 	}
-	doc.Scenarios = append(kept, res)
+	entry := &benchEntry{Result: res}
+	if timing != nil {
+		ms := func(d time.Duration) float64 { return math.Round(float64(d)/float64(time.Millisecond)*1000) / 1000 }
+		wc := &wallClock{
+			Workers:     timing.Workers,
+			TotalMS:     ms(timing.WallClock),
+			MaxInFlight: timing.MaxInFlight,
+		}
+		for _, d := range timing.Points {
+			wc.PointMS = append(wc.PointMS, ms(d))
+		}
+		if serialWall > 0 && timing.WallClock > 0 {
+			wc.SerialMS = ms(serialWall)
+			wc.SpeedupVsSerial = math.Round(float64(serialWall)/float64(timing.WallClock)*100) / 100
+		}
+		entry.WallClock = wc
+	}
+	doc.Scenarios = append(kept, entry)
 	return writeFile(path, func(f *os.File) error {
 		enc := json.NewEncoder(f)
 		enc.SetIndent("", "  ")

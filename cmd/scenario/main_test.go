@@ -59,7 +59,7 @@ func TestCLIEndToEnd(t *testing.T) {
 	if err := run([]string{"-validate", jsonPath}, &out); err != nil {
 		t.Fatalf("-validate rejected fresh output: %v", err)
 	}
-	if !strings.Contains(out.String(), "schema v2 ok") {
+	if !strings.Contains(out.String(), "schema v3 ok") {
 		t.Errorf("validate output: %q", out.String())
 	}
 
@@ -145,7 +145,7 @@ func TestCLICheckInvariance(t *testing.T) {
 	}, &out); err != nil {
 		t.Fatalf("invariance self-check failed: %v", err)
 	}
-	if !strings.Contains(out.String(), "invariance: parallelism 4 == serial reference") {
+	if !strings.Contains(out.String(), "invariance: workers 1 / parallelism 4 == serial reference") {
 		t.Errorf("missing self-check confirmation in output: %q", out.String())
 	}
 	// The confirmation precedes the JSON on stdout; the JSON itself
@@ -156,6 +156,130 @@ func TestCLICheckInvariance(t *testing.T) {
 	}
 	if _, err := scenario.ValidateJSON(out.Bytes()[idx:]); err != nil {
 		t.Fatalf("stdout JSON invalid: %v", err)
+	}
+}
+
+// TestCLIWorkersFlag pins the -workers edge cases: 0 means one worker
+// per core, any positive count is accepted and byte-identical to
+// serial, negative is a flag error before anything runs.
+func TestCLIWorkersFlag(t *testing.T) {
+	dir := t.TempDir()
+	base := []string{
+		"-name", "workers-test", "-peers", "2", "-segments", "2", "-seed", "11",
+		"-sweep", "drop:0,0.02,0.04,0.06",
+	}
+	outputs := map[string][]byte{}
+	for _, w := range []string{"1", "8", "0"} {
+		jsonPath := filepath.Join(dir, "w"+w+".json")
+		csvPath := filepath.Join(dir, "w"+w+".csv")
+		tracePath := filepath.Join(dir, "w"+w+".trace")
+		var out bytes.Buffer
+		args := append(append([]string{}, base...),
+			"-workers", w, "-json", jsonPath, "-csv", csvPath, "-trace", tracePath)
+		if err := run(args, &out); err != nil {
+			t.Fatalf("-workers %s failed: %v", w, err)
+		}
+		for _, p := range []string{jsonPath, csvPath, tracePath} {
+			data, err := os.ReadFile(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			outputs["w"+w+filepath.Ext(p)] = data
+		}
+	}
+	for _, ext := range []string{".json", ".csv", ".trace"} {
+		if !bytes.Equal(outputs["w1"+ext], outputs["w8"+ext]) {
+			t.Errorf("-workers 8 changed the %s output", ext)
+		}
+		if !bytes.Equal(outputs["w1"+ext], outputs["w0"+ext]) {
+			t.Errorf("-workers 0 (auto) changed the %s output", ext)
+		}
+	}
+
+	var out bytes.Buffer
+	if err := run(append(append([]string{}, base...), "-workers", "-3"), &out); err == nil {
+		t.Error("negative -workers accepted")
+	} else if !strings.Contains(err.Error(), "-workers") {
+		t.Errorf("negative -workers error unhelpful: %v", err)
+	}
+}
+
+// TestCLICheckInvarianceWithWorkers: the self-check must hold when the
+// sweep itself is parallel — the serial reference is workers 1 AND
+// parallelism 1.
+func TestCLICheckInvarianceWithWorkers(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{
+		"-name", "inv-workers", "-peers", "2", "-segments", "2", "-seed", "5",
+		"-sweep", "drop:0,0.02,0.04,0.06", "-workers", "4",
+		"-check-invariance",
+	}, &out); err != nil {
+		t.Fatalf("invariance self-check at -workers 4 failed: %v", err)
+	}
+	if !strings.Contains(out.String(), "invariance: workers 4 / parallelism 1 == serial reference") {
+		t.Errorf("missing self-check confirmation: %q", out.String())
+	}
+}
+
+// TestCLIDuplicateSweepPoints: a sweep spec naming the same value
+// twice measures two index-aligned, identical points — never a silent
+// dedup, never an error.
+func TestCLIDuplicateSweepPoints(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{
+		"-name", "dup-test", "-peers", "2", "-segments", "2",
+		"-sweep", "drop:0.03,0.03", "-workers", "2",
+	}, &out); err != nil {
+		t.Fatal(err)
+	}
+	res, err := scenario.ValidateJSON(out.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 || res.Points[0].Value != 0.03 || res.Points[1].Value != 0.03 {
+		t.Fatalf("duplicate sweep points mishandled: %+v", res.Points)
+	}
+	a, _ := json.Marshal(res.Points[0])
+	b, _ := json.Marshal(res.Points[1])
+	if !bytes.Equal(a, b) {
+		t.Fatalf("identical sweep values measured differently:\n%s\n%s", a, b)
+	}
+}
+
+// TestCLIBenchWallClock: the bench trajectory records the wall-clock
+// block — workers, per-point times, peak concurrency, and (when
+// -check-invariance armed the serial rerun) the speedup baseline.
+func TestCLIBenchWallClock(t *testing.T) {
+	dir := t.TempDir()
+	benchPath := filepath.Join(dir, "bench.json")
+	var out bytes.Buffer
+	if err := run([]string{
+		"-name", "wall-test", "-peers", "2", "-segments", "2", "-seed", "3",
+		"-sweep", "drop:0,0.02,0.04,0.06", "-workers", "4", "-check-invariance",
+		"-json", filepath.Join(dir, "out.json"), "-bench", benchPath,
+	}, &out); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(benchPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc benchFile
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Scenarios) != 1 {
+		t.Fatalf("bench trajectory has %d entries", len(doc.Scenarios))
+	}
+	wc := doc.Scenarios[0].WallClock
+	if wc == nil {
+		t.Fatal("bench entry has no wall_clock block")
+	}
+	if wc.Workers != 4 || wc.TotalMS <= 0 || len(wc.PointMS) != 4 || wc.MaxInFlight < 1 {
+		t.Fatalf("wall clock implausible: %+v", wc)
+	}
+	if wc.SerialMS <= 0 || wc.SpeedupVsSerial <= 0 {
+		t.Fatalf("-check-invariance run recorded no serial baseline: %+v", wc)
 	}
 }
 

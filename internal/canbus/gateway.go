@@ -64,12 +64,14 @@ type GatewayStats struct {
 // default — frames are re-transmitted within the pump that drained
 // them (after any route latency), exactly the pre-egress behaviour.
 type EgressPolicy struct {
-	// Rate caps frames per simulated second leaving this port, enforced
-	// per conversation flow (CAN identifier) by the fair-queuing
-	// scheduler; 0 means unlimited. A rate-limited flow's frames release
-	// on the simulated clock, one every 1/Rate seconds of that flow's
-	// own virtual time — independent of other flows' backlogs, which is
-	// what keeps concurrent scenarios schedule-invariant.
+	// Rate caps frames per simulated second leaving this port; 0 means
+	// unlimited. By default the cap is enforced per conversation flow
+	// (CAN identifier) by the fair-queuing scheduler: a rate-limited
+	// flow's frames release on the simulated clock, one every 1/Rate
+	// seconds of that flow's own virtual time — independent of other
+	// flows' backlogs, which is what keeps concurrent scenarios
+	// schedule-invariant. With Shared set the same Rate instead caps
+	// the port's aggregate throughput.
 	Rate float64
 	// Queue bounds the egress backlog of each conversation flow on a
 	// rate-limited port; a frame admitted by a route while its flow's
@@ -77,6 +79,18 @@ type EgressPolicy struct {
 	// unbounded. Without a rate limit the bound is inert — an
 	// unlimited-rate flow never builds a rate backlog to bound.
 	Queue int
+	// Shared selects the shared-capacity start-time-fair-queuing
+	// variant: virtual time advances at the port rate, not per flow,
+	// so Rate caps the port's aggregate throughput and k backlogged
+	// flows divide it fairly (each gets ~Rate/k) instead of each
+	// owning a private Rate (which let k flows emit k×Rate through
+	// one physical port). The trade is physical honesty for schedule
+	// invariance: shared capacity couples flows by design, so the
+	// release schedule depends on which conversations are backlogged
+	// when — drivers that permute whole-conversation admission order
+	// (EstablishAll parallelism > 1) are rejected by scenario
+	// validation in this mode. Without a Rate the flag is inert.
+	Shared bool
 }
 
 // limited reports whether the policy gates transmission at all. Only
@@ -111,13 +125,18 @@ type gatedFrame struct {
 // egressFlow is one conversation's private release queue and virtual
 // clock. vnext is the earliest tag the flow's next admitted frame may
 // carry: admission sets due = max(eligible, vnext), then advances
-// vnext to due (plus the rate gap on a limited port), so tags are
-// monotone within the flow and computed from the flow's own history
-// only.
+// vnext to due (plus the rate gap on a per-flow-limited port), so tags
+// are monotone within the flow and computed from the flow's own
+// history only. On a shared-capacity port vnext carries eligibility
+// alone (no per-flow pacing) and fin is the flow's virtual finish tag
+// in the port's start-time fair queuing: serving a frame sets
+// S = max(port.vtime, fin), fin = S+1 — unit cost per frame, since
+// CAN frames are near-constant size.
 type egressFlow struct {
 	key   flowKey
 	queue []gatedFrame
 	vnext time.Duration
+	fin   uint64
 }
 
 type gatewayPort struct {
@@ -126,7 +145,19 @@ type gatewayPort struct {
 
 	policy EgressPolicy
 	flows  []*egressFlow // admission order; release order is by tag
+
+	// Shared-capacity scheduler state (policy.Shared): nextTx is the
+	// earliest simulated time the port may transmit again (advances by
+	// the rate gap per released frame, regardless of flow), vtime the
+	// port's virtual time — the start tag of the most recently served
+	// frame, which is what a newly backlogged flow's first tag is
+	// clamped to so it neither starves nor is starved.
+	nextTx time.Duration
+	vtime  uint64
 }
+
+// shared reports whether the port runs the shared-capacity scheduler.
+func (p *gatewayPort) shared() bool { return p.policy.limited() && p.policy.Shared }
 
 // flow returns (creating on demand) the port's scheduler state for a
 // frame's conversation.
@@ -323,7 +354,10 @@ func (g *Gateway) emit(p *gatewayPort, f Frame, latency time.Duration) {
 		due = fl.vnext
 	}
 	fl.vnext = due
-	if p.policy.limited() {
+	if p.policy.limited() && !p.policy.Shared {
+		// Per-flow pacing: the flow's own virtual clock spaces its
+		// frames one rate gap apart. A shared-capacity port paces at
+		// release time instead (nextTx), so due stays pure eligibility.
 		fl.vnext = due + p.policy.gap()
 	}
 	fl.queue = append(fl.queue, gatedFrame{frame: f, due: due})
@@ -331,11 +365,15 @@ func (g *Gateway) emit(p *gatewayPort, f Frame, latency time.Duration) {
 }
 
 // drainEgress releases every scheduled frame that is due at the
-// current simulated time, smallest tag first (ties broken by flow
-// identifier, so release order never depends on admission
-// interleaving). Returns the number of frames released. Releasing a
-// frame occupies the destination wire and may advance the clock, which
-// can make further frames due within the same drain.
+// current simulated time. On a per-flow port, smallest release tag
+// first (ties broken by flow identifier, so release order never
+// depends on admission interleaving); on a shared-capacity port the
+// port transmits at most once per rate gap (nextTx) and picks among
+// eligible flows by start-time fair queuing — smallest virtual finish
+// tag, identifier as the tie-break. Returns the number of frames
+// released. Releasing a frame occupies the destination wire and may
+// advance the clock, which can make further frames due within the
+// same drain.
 func (g *Gateway) drainEgress(p *gatewayPort) int {
 	if g.clock == nil {
 		return 0
@@ -343,12 +381,15 @@ func (g *Gateway) drainEgress(p *gatewayPort) int {
 	sent := 0
 	for {
 		now := g.clock.Now()
+		if p.shared() && p.nextTx > now {
+			return sent
+		}
 		var best *egressFlow
 		for _, fl := range p.flows {
 			if len(fl.queue) == 0 || fl.queue[0].due > now {
 				continue
 			}
-			if best == nil || releaseBefore(fl, best) {
+			if best == nil || p.serveBefore(fl, best) {
 				best = fl
 			}
 		}
@@ -357,15 +398,43 @@ func (g *Gateway) drainEgress(p *gatewayPort) int {
 		}
 		f := best.queue[0].frame
 		best.queue = best.queue[1:]
+		if p.shared() {
+			s := p.vtime
+			if best.fin > s {
+				s = best.fin
+			}
+			best.fin = s + 1
+			p.vtime = s
+			if p.nextTx < now {
+				p.nextTx = now
+			}
+			p.nextTx += p.policy.gap()
+		}
 		g.forward(p, f)
 		sent++
 	}
 }
 
-// releaseBefore orders two release-eligible flows: earlier head tag
-// first, identifier as the deterministic tie-break.
-func releaseBefore(a, b *egressFlow) bool {
-	if a.queue[0].due != b.queue[0].due {
+// serveBefore orders two release-eligible flows. Per-flow mode: the
+// earlier head release tag wins. Shared-capacity mode: the smaller
+// start tag max(port virtual time, flow finish tag) wins — with the
+// port term common to both flows, that is the smaller finish tag,
+// which alternates backlogged flows and clamps a newly active flow to
+// the port's present rather than its past. The identifier is the
+// deterministic tie-break either way.
+func (p *gatewayPort) serveBefore(a, b *egressFlow) bool {
+	if p.shared() {
+		af, bf := a.fin, b.fin
+		if af < p.vtime {
+			af = p.vtime
+		}
+		if bf < p.vtime {
+			bf = p.vtime
+		}
+		if af != bf {
+			return af < bf
+		}
+	} else if a.queue[0].due != b.queue[0].due {
 		return a.queue[0].due < b.queue[0].due
 	}
 	if a.key.id != b.key.id {
@@ -403,7 +472,13 @@ func (g *Gateway) NextDeadline() time.Duration {
 			if len(fl.queue) == 0 {
 				continue
 			}
-			if due := fl.queue[0].due; min == 0 || due < min {
+			due := fl.queue[0].due
+			if p.shared() && p.nextTx > due {
+				// The shared port cannot transmit before its next rate
+				// slot, whatever the frame's own eligibility.
+				due = p.nextTx
+			}
+			if min == 0 || due < min {
 				min = due
 			}
 		}

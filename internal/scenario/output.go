@@ -19,7 +19,7 @@ func WriteJSON(w io.Writer, r *Result) error {
 // csvHeader is the flattened curve schema — one row per sweep point;
 // the per-step breakdown stays in the JSON form.
 var csvHeader = []string{
-	"name", "workload", "axis", "value", "errors", "handshakes",
+	"name", "workload", "axis", "value", "error", "errors", "handshakes",
 	"latency_mean_us", "latency_p50_us", "latency_min_us", "latency_max_us",
 	"workload_time_us", "retries", "failed_attempts", "retransmits",
 	"message_resends", "integrity_drops", "protocol_drops",
@@ -43,7 +43,7 @@ func WriteCSV(w io.Writer, r *Result) error {
 		}
 		row := []string{
 			r.Name, string(r.Workload), string(p.Axis), strconv.FormatFloat(p.Value, 'f', 4, 64),
-			n(p.Errors), n(p.Handshakes),
+			p.Error, n(p.Errors), n(p.Handshakes),
 			f(lat.MeanUS), f(lat.P50US), f(lat.MinUS), f(lat.MaxUS),
 			f(p.WorkloadTimeUS), n(p.Retries), n(p.FailedAttempts), n(p.Retransmits),
 			n(p.MessageResends), n(p.IntegrityDrops), n(p.ProtocolDrops),
@@ -87,6 +87,11 @@ func ValidateJSON(data []byte) (*Result, error) {
 	for i, p := range r.Points {
 		if p.Axis == "" {
 			return nil, fmt.Errorf("scenario: point %d has no axis", i)
+		}
+		if p.Error != "" {
+			// A recorded point failure carries no measurements by
+			// definition; the structural invariants below don't apply.
+			continue
 		}
 		if p.Handshakes == 0 && p.Errors == 0 {
 			return nil, fmt.Errorf("scenario: point %d measured nothing", i)

@@ -15,7 +15,11 @@ import (
 //
 // v2: StepAccount gained queue_time_us (per-step queueing delay under
 // congested gateways).
-const SchemaVersion = 2
+//
+// v3: Point gained error — a point that fails to provision or build
+// its fabric is recorded in place (index-aligned, no measurements)
+// instead of aborting the whole sweep.
+const SchemaVersion = 3
 
 // Result is one scenario's complete measurement output.
 type Result struct {
@@ -69,6 +73,13 @@ type StepAccount struct {
 type Point struct {
 	Axis  Axis    `json:"axis"`
 	Value float64 `json:"value"`
+
+	// Error records a point-level failure (provisioning or fabric
+	// construction died before the workload ran). The point carries no
+	// measurements, its slot in the sweep stays index-aligned, and the
+	// remaining points still measure — a thousand-point search
+	// survives one pathological corner.
+	Error string `json:"error,omitempty"`
 
 	Errors     int `json:"errors"`
 	Handshakes int `json:"handshakes"`

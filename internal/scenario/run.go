@@ -1,13 +1,17 @@
 package scenario
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"math"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/canbus"
+	"repro/internal/conc"
 	"repro/internal/core"
 	"repro/internal/detrand"
 	"repro/internal/ec"
@@ -16,20 +20,77 @@ import (
 	"repro/internal/session"
 )
 
-// Run executes the scenario — every sweep point on a fresh, freshly
-// seeded fabric — and returns its measurements.
-func Run(s Scenario) (*Result, error) { return run(s, nil) }
+// Options tune how a scenario executes without changing what it
+// measures: every knob here is an execution detail, so the Result (and
+// any trace) is byte-identical for every Options value. (Trace bytes
+// additionally require the scenario itself to be trace-deterministic —
+// see RunTracedWith.)
+type Options struct {
+	// Workers bounds how many sweep points simulate concurrently.
+	// Each point owns a fully isolated fabric — its own simulated
+	// clock, buses, gateways, endpoints, provisioning network and
+	// randomness streams — so points are embarrassingly parallel and
+	// fan out over internal/conc. ≤ 0 means one worker per core
+	// (GOMAXPROCS).
+	Workers int
+}
 
-// RunTraced runs the scenario while streaming the full fault and
-// recovery trace to w in a stable line format: one line per injected
-// bus fault, per completed or failed handshake, per protocol-step
-// cost row and per point summary. With a fixed seed the byte stream
-// is exactly reproducible (at parallelism 1 — concurrent runs keep
-// the same aggregate trace lines but may interleave fault lines of
-// different conversations differently), which is what the
-// golden-trace regression test diffs.
+// Timing reports the real (wall-clock) cost of a run — the one output
+// that legitimately varies with Options and host, which is why it
+// travels beside the Result instead of inside it.
+type Timing struct {
+	// Workers is the resolved worker count the run used.
+	Workers int
+	// WallClock is the elapsed real time of the whole sweep.
+	WallClock time.Duration
+	// Points holds each sweep point's elapsed real time,
+	// index-aligned with Result.Points.
+	Points []time.Duration
+	// MaxInFlight is the peak number of points simulating
+	// concurrently — the direct evidence of multi-core execution.
+	MaxInFlight int
+}
+
+// Run executes the scenario serially — every sweep point on a fresh,
+// freshly seeded fabric — and returns its measurements.
+func Run(s Scenario) (*Result, error) {
+	res, _, err := RunWith(s, Options{Workers: 1})
+	return res, err
+}
+
+// RunWith executes the scenario with the given execution options,
+// returning the measurements and the run's wall-clock timing. The
+// Result is byte-identical for every worker count.
+func RunWith(s Scenario, o Options) (*Result, *Timing, error) {
+	return run(s, nil, o)
+}
+
+// RunTraced runs the scenario serially while writing the full fault
+// and recovery trace to w in a stable line format: one line per
+// injected bus fault, per completed or failed handshake, per
+// protocol-step cost row and per point summary. With a fixed seed the
+// byte stream is exactly reproducible.
 func RunTraced(s Scenario, w io.Writer) (*Result, error) {
-	return run(s, &tracer{w: w})
+	res, _, err := RunTracedWith(s, w, Options{Workers: 1})
+	return res, err
+}
+
+// RunTracedWith is RunTraced with execution options. Workers add no
+// nondeterminism to the trace: each point's trace accumulates in a
+// private buffer while the points run concurrently, and the buffers
+// are written to w in point order once the sweep completes, so the
+// byte stream equals the serial run's. One caveat the workers do not
+// create and cannot fix: with EstablishAll Parallelism > 1 inside a
+// point, absolute fault timestamps and trace line order depend on how
+// the runtime interleaved the conversations — even two serial runs
+// can differ. The Result is schedule-invariant regardless (that is
+// the fair-queuing/content-keying contract); byte-stable traces
+// additionally need Parallelism ≤ 1.
+func RunTracedWith(s Scenario, w io.Writer, o Options) (*Result, *Timing, error) {
+	if w == nil {
+		return nil, nil, fmt.Errorf("scenario: RunTracedWith needs a trace writer")
+	}
+	return run(s, w, o)
 }
 
 // tracer accumulates the text trace; a nil tracer writes nothing.
@@ -45,10 +106,14 @@ func (t *tracer) printf(format string, args ...any) {
 	_, t.err = fmt.Fprintf(t.w, format, args...)
 }
 
-func run(s Scenario, tr *tracer) (*Result, error) {
+// runPointFn is the per-point executor; tests swap it to exercise the
+// point-failure path, which no valid scenario reaches on its own.
+var runPointFn = runPoint
+
+func run(s Scenario, traceW io.Writer, o Options) (*Result, *Timing, error) {
 	s = s.withDefaults()
 	if err := s.Validate(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	axis := s.SweepAxis
 	if axis == "" {
@@ -63,24 +128,81 @@ func run(s Scenario, tr *tracer) (*Result, error) {
 		Segments:      s.Segments,
 		Axis:          axis,
 	}
-	tr.printf("# scenario %s workload=%s seed=%d peers=%d segments=%d axis=%s\n",
-		s.Name, s.Workload, s.Seed, s.Peers, s.Segments, axis)
-	for _, v := range s.points() {
-		pt, err := s.runPoint(v, axis, tr)
-		if err != nil {
-			return nil, fmt.Errorf("scenario %s at %s=%v: %w", s.Name, axis, v, err)
+
+	values := s.points()
+	workers := o.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(values) {
+		workers = len(values)
+	}
+	timing := &Timing{Workers: workers, Points: make([]time.Duration, len(values))}
+
+	// Each point gets a private trace buffer (nil tracers when no
+	// trace was requested); buffers are flushed to traceW in point
+	// order below, so the trace bytes never depend on scheduling.
+	points := make([]Point, len(values))
+	var buffers []bytes.Buffer
+	if traceW != nil {
+		buffers = make([]bytes.Buffer, len(values))
+	}
+
+	var inFlight, maxInFlight int64
+	start := time.Now()
+	conc.ForEach(len(values), workers, func(i int) {
+		cur := atomic.AddInt64(&inFlight, 1)
+		for {
+			m := atomic.LoadInt64(&maxInFlight)
+			if cur <= m || atomic.CompareAndSwapInt64(&maxInFlight, m, cur) {
+				break
+			}
 		}
-		res.Points = append(res.Points, pt)
+		defer atomic.AddInt64(&inFlight, -1)
+
+		var tr *tracer
+		if traceW != nil {
+			tr = &tracer{w: &buffers[i]}
+		}
+		t0 := time.Now()
+		pt, err := runPointFn(s, values[i], axis, tr)
+		timing.Points[i] = time.Since(t0)
+		if err != nil {
+			// A pathological point must not abort the sweep: record
+			// the failure in place, keep the index alignment, and let
+			// the remaining points measure.
+			pt = Point{Axis: axis, Value: values[i], Error: err.Error()}
+			tr.printf("point-error %s=%.4f: %v\n", axis, values[i], err)
+		}
+		points[i] = pt
+	})
+	timing.WallClock = time.Since(start)
+	timing.MaxInFlight = int(maxInFlight)
+	res.Points = points
+
+	if traceW != nil {
+		head := &tracer{w: traceW}
+		head.printf("# scenario %s workload=%s seed=%d peers=%d segments=%d axis=%s\n",
+			s.Name, s.Workload, s.Seed, s.Peers, s.Segments, axis)
+		if head.err != nil {
+			return nil, nil, head.err
+		}
+		for i := range buffers {
+			if _, err := traceW.Write(buffers[i].Bytes()); err != nil {
+				return nil, nil, err
+			}
+		}
 	}
-	if tr != nil && tr.err != nil {
-		return nil, tr.err
-	}
-	return res, nil
+	return res, timing, nil
 }
 
 // runPoint provisions a fleet, builds the fabric at one sweep value
-// and drives the workload.
-func (s Scenario) runPoint(v float64, axis Axis, tr *tracer) (Point, error) {
+// and drives the workload. Everything it touches — provisioning
+// network, randomness streams, buses, gateways, clock, endpoints,
+// manager — is constructed here from the scenario value and the sweep
+// value alone, never shared: that isolation is what lets sweep points
+// run concurrently and still measure bit-identical results.
+func runPoint(s Scenario, v float64, axis Axis, tr *tracer) (Point, error) {
 	prof := s.profileAt(v)
 	tr.printf("point %s=%.4f\n", axis, v)
 

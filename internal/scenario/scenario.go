@@ -164,6 +164,17 @@ func (s Scenario) Validate() error {
 	if s.Egress.Rate < 0 || s.Egress.Queue < 0 {
 		return errors.New("scenario: negative egress policy")
 	}
+	if s.Egress.Shared && s.Egress.Rate > 0 && s.Parallelism > 1 {
+		// Shared capacity couples conversations through one aggregate
+		// rate by design: the release schedule depends on which flows
+		// are backlogged when, i.e. on the order whole conversations
+		// are admitted — exactly what EstablishAll parallelism
+		// permutes. Per-flow egress (Shared=false) stays
+		// schedule-invariant; sweep-point workers (Options.Workers)
+		// are always fine either way, because points never share a
+		// port.
+		return errors.New("scenario: shared-capacity egress requires parallelism 1 (flows couple through the aggregate rate, so the schedule depends on conversation admission order)")
+	}
 	if s.Egress.Rate > 0 && s.Parallelism > 1 && (s.Profile.Duplicate > 0 || s.SweepAxis == AxisDuplicate) {
 		// Rate-gated ports with the fair-queuing scheduler are
 		// schedule-invariant per conversation flow, but a duplicated

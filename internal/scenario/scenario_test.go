@@ -364,6 +364,10 @@ func TestScenarioValidation(t *testing.T) {
 		// the workload ends, so which run counts it is scheduling.
 		{Name: "x", Peers: 2, Egress: canbus.EgressPolicy{Rate: 100}, Parallelism: 4, Profile: Profile{Duplicate: 0.05}},
 		{Name: "x", Peers: 2, Egress: canbus.EgressPolicy{Rate: 100}, Parallelism: 4, SweepAxis: AxisDuplicate, SweepPoints: []float64{0.05}},
+		// Shared-capacity egress couples flows through the aggregate
+		// rate, so concurrent conversation admission is schedule-
+		// dependent by design — rejected at parallelism > 1.
+		{Name: "x", Peers: 2, Egress: canbus.EgressPolicy{Rate: 100, Shared: true}, Parallelism: 4},
 	}
 	for i, s := range bad {
 		if err := s.Validate(); err == nil {
@@ -381,6 +385,13 @@ func TestScenarioValidation(t *testing.T) {
 	congested.Parallelism = 8
 	if err := congested.Validate(); err != nil {
 		t.Errorf("congested concurrent scenario rejected: %v", err)
+	}
+	// Shared capacity is fine serially (and at any sweep-point worker
+	// count — points never share a port).
+	sharedSerial := smallScenario(WorkloadBringup)
+	sharedSerial.Egress = canbus.EgressPolicy{Rate: 400, Queue: 64, Shared: true}
+	if err := sharedSerial.Validate(); err != nil {
+		t.Errorf("serial shared-capacity scenario rejected: %v", err)
 	}
 }
 
