@@ -10,7 +10,7 @@ SHELL := /bin/bash
 BENCH_COMPARE ?= BenchmarkScalarMultAblation|BenchmarkFig3_STSOperations|BenchmarkLiveHandshake
 BENCH_COUNT ?= 5
 
-.PHONY: build test race race-parallel test-purebig bench bench-smoke bench-compare bench-alloc bench-scenarios scenario-smoke parallel-invariance fuzz-smoke fmt fmt-check vet lint cover
+.PHONY: build test race race-parallel test-purebig bench bench-smoke bench-compare bench-batch bench-alloc bench-scenarios scenario-smoke parallel-invariance fuzz-smoke fmt fmt-check vet lint cover
 
 build:
 	$(GO) build ./...
@@ -59,11 +59,29 @@ bench-compare:
 	fi
 
 # Scalar-mult ablation with allocation counts plus the hard per-op
-# allocation budget on the fp backend (used by CI; fails on regression
-# into per-digit heap allocation).
+# allocation budgets on the fp backend (used by CI; fails on regression
+# into per-digit heap allocation). The ScalarMult and VerifyBatch
+# gates ride together: both guard the same fixed-limb no-alloc
+# contract, one per-op and one per-batched-item.
 bench-alloc:
 	$(GO) test -run='^$$' -bench='BenchmarkScalarMultAblation' -benchtime=5x -benchmem .
 	$(GO) test -run='TestScalarMultAllocBudget' -v ./internal/ec/
+	$(GO) test -run='TestVerifyBatchAllocBudget' -v ./internal/ecdsa/
+
+# The batch-amortized pipeline benches behind BENCH_ec_backend.json's
+# batch_ops trajectory: dedicated squaring vs CIOS Mul, Montgomery-
+# trick BatchInv vs sequential Fermat inversions, wave VerifyBatch vs
+# N independent Verifies, and the shared-inversion table build.
+# Summarized by benchstat when installed.
+BENCH_BATCH ?= BenchmarkSqr$$|BenchmarkSqrViaMul|BenchmarkBatchInv|BenchmarkInvSequential|BenchmarkVerifyBatch|BenchmarkVerifySequential|BenchmarkMultTableBuild|BenchmarkBatchNormalize
+bench-batch:
+	$(GO) test -run='^$$' -bench='$(BENCH_BATCH)' -benchmem -count=$(BENCH_COUNT) \
+		./internal/ec/... ./internal/ecdsa/ | tee bench-batch.txt
+	@if command -v benchstat >/dev/null 2>&1; then \
+		benchstat bench-batch.txt; \
+	else \
+		echo "benchstat not installed; read bench-batch.txt directly"; \
+	fi
 
 # One small degraded-bus sweep end to end — scenario engine, CLI,
 # JSON writer — then the schema-drift gate on its own output (used by

@@ -31,8 +31,19 @@ type KeyCache struct {
 	extracted map[[32]byte]ec.Point
 	verifiers map[[32]byte]*ecdsa.PublicKey
 
-	hits   atomic.Uint64
-	misses atomic.Uint64
+	// shared is the second cache level for verifier tables: a local
+	// miss consults it before building, so fleet-static keys (CA,
+	// gateway, wave initiator) are built once per process instead of
+	// once per party. Never nil.
+	shared *SharedTableCache
+
+	// wave batches this party's concurrently in-flight verifications
+	// into ecdsa.VerifyBatch rounds.
+	wave waveVerifier
+
+	hits       atomic.Uint64
+	misses     atomic.Uint64
+	sharedHits atomic.Uint64
 }
 
 // keyCacheMaxEntries bounds each map; beyond it the map is reset
@@ -40,23 +51,55 @@ type KeyCache struct {
 // stays far below the bound; only certificate-churn storms hit it.
 const keyCacheMaxEntries = 4096
 
-// NewKeyCache returns an empty cache.
-func NewKeyCache() *KeyCache {
+// NewKeyCache returns an empty cache backed by the process-global
+// SharedTables.
+func NewKeyCache() *KeyCache { return NewKeyCacheWithShared(sharedTables) }
+
+// NewKeyCacheWithShared returns an empty cache backed by an explicit
+// shared table level (tests isolate sharing behaviour this way). A nil
+// stc gets a private, empty level.
+func NewKeyCacheWithShared(stc *SharedTableCache) *KeyCache {
+	if stc == nil {
+		stc = NewSharedTableCache()
+	}
 	return &KeyCache{
 		extracted: make(map[[32]byte]ec.Point),
 		verifiers: make(map[[32]byte]*ecdsa.PublicKey),
+		shared:    stc,
 	}
 }
 
 // CacheStats is a point-in-time view of cache effectiveness.
 type CacheStats struct {
-	Hits   int // lookups served from the cache
-	Misses int // lookups that had to compute and fill
+	Hits   int // lookups served from the local cache
+	Misses int // lookups that had to fill (from the shared level or a build)
+
+	// SharedHits counts the subset of Misses that adopted a table from
+	// the fleet-global SharedTableCache instead of building one.
+	SharedHits int
+
+	// WaveBatches/WaveItems account the group-commit verification:
+	// WaveItems verifications served through WaveBatches VerifyBatch
+	// rounds. WaveItems − WaveBatches is the number of shared-inversion
+	// opportunities actually taken.
+	WaveBatches int
+	WaveItems   int
 }
 
 // Stats returns the hit/miss counters.
 func (kc *KeyCache) Stats() CacheStats {
-	return CacheStats{Hits: int(kc.hits.Load()), Misses: int(kc.misses.Load())}
+	return CacheStats{
+		Hits:        int(kc.hits.Load()),
+		Misses:      int(kc.misses.Load()),
+		SharedHits:  int(kc.sharedHits.Load()),
+		WaveBatches: int(kc.wave.batches.Load()),
+		WaveItems:   int(kc.wave.items.Load()),
+	}
+}
+
+// verifyWave routes one verification through the group-commit batcher.
+func (kc *KeyCache) verifyWave(pub *ecdsa.PublicKey, digest []byte, sig ecdsa.Signature) bool {
+	return kc.wave.verify(pub, digest, sig)
 }
 
 // certFingerprint binds a cache key to the exact certificate bytes and
@@ -118,7 +161,17 @@ func (kc *KeyCache) Verifier(c *ec.Curve, q ec.Point) *ecdsa.PublicKey {
 		return pub
 	}
 	kc.misses.Add(1)
-	pub = (&ecdsa.PublicKey{Curve: c, Q: q.Clone()}).Precompute()
+	// Second level: another party may have built this table already
+	// (the CA and wave-initiator keys are identical fleet-wide).
+	if shared, ok := kc.shared.Lookup(fp); ok {
+		kc.sharedHits.Add(1)
+		pub = shared
+	} else {
+		pub = (&ecdsa.PublicKey{Curve: c, Q: q.Clone()}).Precompute()
+		// Publish for the rest of the fleet; adopt the winner if
+		// another builder got there first.
+		pub = kc.shared.Publish(fp, pub)
+	}
 	kc.mu.Lock()
 	if len(kc.verifiers) >= keyCacheMaxEntries {
 		kc.verifiers = make(map[[32]byte]*ecdsa.PublicKey)

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/ec"
+	"repro/internal/ecdsa"
+)
+
+// TestSharedTableCacheDedup: two parties' key caches backed by one
+// shared level build a given verifier table exactly once — the second
+// party adopts the first's instance.
+func TestSharedTableCacheDedup(t *testing.T) {
+	stc := NewSharedTableCache()
+	kc1 := NewKeyCacheWithShared(stc)
+	kc2 := NewKeyCacheWithShared(stc)
+	c := ec.P256()
+	q := c.ScalarBaseMult(randInt(t))
+
+	p1 := kc1.Verifier(c, q)
+	p2 := kc2.Verifier(c, q)
+	if p1 != p2 {
+		t.Fatal("parties did not converge on one shared table instance")
+	}
+	if st := kc1.Stats(); st.Misses != 1 || st.SharedHits != 0 {
+		t.Fatalf("builder stats = %+v, want 1 miss / 0 shared hits", st)
+	}
+	if st := kc2.Stats(); st.Misses != 1 || st.SharedHits != 1 {
+		t.Fatalf("adopter stats = %+v, want 1 miss / 1 shared hit", st)
+	}
+	if st := stc.Stats(); st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("shared stats = %+v, want 1 hit / 1 miss / 1 entry", st)
+	}
+	// Steady state: both serve locally, shared level untouched.
+	kc1.Verifier(c, q)
+	kc2.Verifier(c, q)
+	if st := stc.Stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("local hits leaked into the shared level: %+v", st)
+	}
+}
+
+// TestSharedTableCacheConcurrentPublish: racing builders of the same
+// fingerprint converge on a single instance.
+func TestSharedTableCacheConcurrentPublish(t *testing.T) {
+	stc := NewSharedTableCache()
+	c := ec.P256()
+	q := c.ScalarBaseMult(randInt(t))
+	fp := pointFingerprint(c, q)
+
+	results := make([]*ecdsa.PublicKey, 16)
+	var wg sync.WaitGroup
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			pub := (&ecdsa.PublicKey{Curve: c, Q: q.Clone()}).Precompute()
+			results[i] = stc.Publish(fp, pub)
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(results); i++ {
+		if results[i] != results[0] {
+			t.Fatal("racing publishers did not converge on one instance")
+		}
+	}
+	if st := stc.Stats(); st.Entries != 1 {
+		t.Fatalf("entries = %d, want 1", st.Entries)
+	}
+}
+
+// TestSharedTableCacheBound: the copy-on-write map resets rather than
+// growing without bound.
+func TestSharedTableCacheBound(t *testing.T) {
+	stc := NewSharedTableCache()
+	c := ec.P256()
+	pub := (&ecdsa.PublicKey{Curve: c, Q: c.Generator()}).Precompute()
+	for i := 0; i < sharedTableMaxEntries+10; i++ {
+		var fp [32]byte
+		h := sha256.Sum256([]byte(fmt.Sprintf("synthetic-%d", i)))
+		copy(fp[:], h[:])
+		stc.Publish(fp, pub)
+	}
+	if st := stc.Stats(); st.Entries > sharedTableMaxEntries+1 {
+		t.Fatalf("cache grew past its bound: %d entries", st.Entries)
+	}
+}
+
+func waveFixture(t *testing.T, n int) (*KeyCache, []*ecdsa.PublicKey, [][]byte, []ecdsa.Signature) {
+	t.Helper()
+	kc := NewKeyCacheWithShared(NewSharedTableCache())
+	c := ec.P256()
+	rng := newDetRand(611)
+	pubs := make([]*ecdsa.PublicKey, n)
+	digests := make([][]byte, n)
+	sigs := make([]ecdsa.Signature, n)
+	for i := 0; i < n; i++ {
+		key, err := ecdsa.GenerateKey(c, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := sha256.Sum256([]byte(fmt.Sprintf("wave msg %d", i)))
+		sig, err := key.SignDigest(d[:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		pubs[i] = kc.Verifier(c, key.Q)
+		digests[i] = d[:]
+		sigs[i] = sig
+	}
+	return kc, pubs, digests, sigs
+}
+
+// TestWaveVerifierSerial: a lone verification is a batch of one with
+// the plain-Verify verdict, and the counters account it.
+func TestWaveVerifierSerial(t *testing.T) {
+	kc, pubs, digests, sigs := waveFixture(t, 2)
+	if !kc.verifyWave(pubs[0], digests[0], sigs[0]) {
+		t.Fatal("valid signature rejected")
+	}
+	if kc.verifyWave(pubs[0], digests[0], sigs[1]) {
+		t.Fatal("mismatched signature accepted")
+	}
+	st := kc.Stats()
+	if st.WaveBatches != 2 || st.WaveItems != 2 {
+		t.Fatalf("wave stats = %+v, want 2 batches / 2 items", st)
+	}
+}
+
+// TestWaveVerifierConcurrent: many goroutines verifying through one
+// cache all get their individual verdicts (mixed valid and corrupted),
+// and the counters reconcile: items == verifications, batches ≤ items.
+func TestWaveVerifierConcurrent(t *testing.T) {
+	const n = 8
+	const rounds = 25
+	kc, pubs, digests, sigs := waveFixture(t, n)
+
+	var wg sync.WaitGroup
+	for g := 0; g < n; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				// Even rounds: valid pair. Odd rounds: signature from the
+				// next key — must fail.
+				if r%2 == 0 {
+					if !kc.verifyWave(pubs[g], digests[g], sigs[g]) {
+						t.Errorf("goroutine %d round %d: valid rejected", g, r)
+						return
+					}
+				} else {
+					if kc.verifyWave(pubs[g], digests[g], sigs[(g+1)%n]) {
+						t.Errorf("goroutine %d round %d: invalid accepted", g, r)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := kc.Stats()
+	if st.WaveItems != n*rounds {
+		t.Fatalf("WaveItems = %d, want %d", st.WaveItems, n*rounds)
+	}
+	if st.WaveBatches == 0 || st.WaveBatches > st.WaveItems {
+		t.Fatalf("WaveBatches = %d out of range (items %d)", st.WaveBatches, st.WaveItems)
+	}
+}
+
+// TestHandshakeWaveAccounting: a real STS handshake routes its
+// signature verifications through the wave batcher.
+func TestHandshakeWaveAccounting(t *testing.T) {
+	_, a, b := newTestPair(t, 612)
+	if _, err := NewSTS(OptII).Run(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if st := a.KeyCache().Stats(); st.WaveItems == 0 {
+		t.Fatalf("initiator verifications bypassed the wave batcher: %+v", st)
+	}
+	if st := b.KeyCache().Stats(); st.WaveItems == 0 {
+		t.Fatalf("responder verifications bypassed the wave batcher: %+v", st)
+	}
+}

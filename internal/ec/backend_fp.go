@@ -268,28 +268,25 @@ func (c *Curve) fpAddAffine(p *fpJac, q *fpAffine, neg bool, s *fpScratch) {
 	p.x, p.y, p.z = *i, *tmp, *r
 }
 
-// fpBatchToAffine converts Jacobian points to fpAffine with a single
-// field inversion (Montgomery's trick). Used only for table builds;
-// every input must be finite.
+// fpBatchToAffine converts Jacobian points to fpAffine through one
+// shared inversion (fp.Field.BatchInv, Montgomery's trick). Used only
+// for table builds; every input must be finite.
 func (c *Curve) fpBatchToAffine(pts []fpJac, out []fpAffine) {
 	f := c.fpF
 	n := len(pts)
 	if n == 0 {
 		return
 	}
-	prefix := make([]fp.Element, n+1)
-	prefix[0] = f.One()
+	zinv := make([]fp.Element, n)
 	for i := range pts {
-		f.Mul(&prefix[i+1], &prefix[i], &pts[i].z)
+		zinv[i] = pts[i].z
 	}
-	var inv, zinv, zinv2 fp.Element
-	f.Inv(&inv, &prefix[n])
-	for i := n - 1; i >= 0; i-- {
-		f.Mul(&zinv, &prefix[i], &inv)
-		f.Mul(&inv, &inv, &pts[i].z)
-		f.Sqr(&zinv2, &zinv)
+	f.BatchInv(zinv, zinv)
+	var zinv2 fp.Element
+	for i := range pts {
+		f.Sqr(&zinv2, &zinv[i])
 		f.Mul(&out[i].x, &pts[i].x, &zinv2)
-		f.Mul(&zinv2, &zinv2, &zinv)
+		f.Mul(&zinv2, &zinv2, &zinv[i])
 		f.Mul(&out[i].y, &pts[i].y, &zinv2)
 	}
 }
@@ -444,28 +441,40 @@ func (c *Curve) wnafAccumulate(acc *fpJac, table *[8]fpJac, digits []int8, s *fp
 	}
 }
 
-// scalarMultFP evaluates k·P for a finite P and reduced nonzero k with
-// O(1) heap allocations (the output Point and a big.Int scratch or
-// two at the boundary).
-func (c *Curve) scalarMultFP(p Point, kr *big.Int) Point {
+// scalarMultFPJac evaluates k·P into acc (Jacobian form, affine
+// conversion deferred) for a finite P and reduced nonzero k.
+func (c *Curve) scalarMultFPJac(acc *fpJac, p Point, kr *big.Int) {
 	var s fpScratch
 	var table [8]fpJac
 	c.fpOddMultiples(p, &table, &s)
 	var dbuf [264]int8
 	digits := wnafFixed(kr, wnafWindow, dbuf[:])
+	c.fpSetInfinity(acc)
+	c.wnafAccumulate(acc, &table, digits, &s)
+}
+
+// scalarMultFP evaluates k·P for a finite P and reduced nonzero k with
+// O(1) heap allocations (the output Point and a big.Int scratch or
+// two at the boundary).
+func (c *Curve) scalarMultFP(p Point, kr *big.Int) Point {
 	var acc fpJac
-	c.fpSetInfinity(&acc)
-	c.wnafAccumulate(&acc, &table, digits, &s)
+	c.scalarMultFPJac(&acc, p, kr)
 	return c.fpToPoint(&acc)
 }
 
-// scalarBaseMultFP evaluates k·G through the comb table: ~windows
-// mixed additions, zero doublings.
-func (c *Curve) scalarBaseMultFP(kr *big.Int) Point {
+// scalarBaseMultFPJac evaluates k·G into acc (affine conversion
+// deferred) through the comb table: ~windows mixed additions, zero
+// doublings.
+func (c *Curve) scalarBaseMultFPJac(acc *fpJac, kr *big.Int) {
 	var s fpScratch
+	c.fpSetInfinity(acc)
+	c.combAccumulate(acc, kr, &s)
+}
+
+// scalarBaseMultFP evaluates k·G through the comb table.
+func (c *Curve) scalarBaseMultFP(kr *big.Int) Point {
 	var acc fpJac
-	c.fpSetInfinity(&acc)
-	c.combAccumulate(&acc, kr, &s)
+	c.scalarBaseMultFPJac(&acc, kr)
 	return c.fpToPoint(&acc)
 }
 
@@ -486,20 +495,27 @@ func (c *Curve) scalarMultNaiveFP(p Point, kr *big.Int) Point {
 	return c.fpToPoint(&acc)
 }
 
-// combinedMultFP evaluates u1·G + u2·Q: the u2 part through the wNAF
-// double-and-add chain, the base part folded in afterwards via the
-// comb (which needs no doublings, so nothing is gained interleaving
-// it). Both scalars reduced and nonzero, Q finite.
-func (c *Curve) combinedMultFP(q Point, u1, u2 *big.Int) Point {
+// combinedMultFPJac evaluates u1·G + u2·Q into acc (affine conversion
+// deferred): the u2 part through the wNAF double-and-add chain, the
+// base part folded in afterwards via the comb (which needs no
+// doublings, so nothing is gained interleaving it). Both scalars
+// reduced and nonzero, Q finite.
+func (c *Curve) combinedMultFPJac(acc *fpJac, q Point, u1, u2 *big.Int) {
 	var s fpScratch
 	var table [8]fpJac
 	c.fpOddMultiples(q, &table, &s)
 	var dbuf [264]int8
 	digits := wnafFixed(u2, wnafWindow, dbuf[:])
+	c.fpSetInfinity(acc)
+	c.wnafAccumulate(acc, &table, digits, &s)
+	c.combAccumulate(acc, u1, &s)
+}
+
+// combinedMultFP evaluates u1·G + u2·Q with the affine conversion
+// inline.
+func (c *Curve) combinedMultFP(q Point, u1, u2 *big.Int) Point {
 	var acc fpJac
-	c.fpSetInfinity(&acc)
-	c.wnafAccumulate(&acc, &table, digits, &s)
-	c.combAccumulate(&acc, u1, &s)
+	c.combinedMultFPJac(&acc, q, u1, u2)
 	return c.fpToPoint(&acc)
 }
 

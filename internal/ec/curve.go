@@ -63,6 +63,12 @@ type Curve struct {
 // this build.
 func (c *Curve) useFP() bool { return !useBigBackend && c.fpF != nil }
 
+// UsesFPBackend reports whether this build selected the fixed-limb
+// Montgomery backend (false under -tags ec_purebig). Allocation-budget
+// gates in dependent packages only apply to the fp backend; the
+// math/big oracle allocates freely by design.
+func UsesFPBackend() bool { return !useBigBackend }
+
 // ByteLen returns the length in bytes of a serialized field element
 // (and therefore of a coordinate or scalar) on this curve.
 func (c *Curve) ByteLen() int { return c.byteLen }

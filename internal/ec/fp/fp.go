@@ -261,11 +261,166 @@ func (f *Field) Mul(z, x, y *Element) {
 	}
 }
 
-// Sqr sets z = x² mod p. A dedicated squaring (saving the symmetric
-// cross products) is a further ~20% on this op; profiling shows the
-// shared CIOS path is already far off the critical path relative to
-// the math/big baseline, so squaring reuses Mul.
-func (f *Field) Sqr(z, x *Element) { f.Mul(z, x, x) }
+// Sqr sets z = x²·R⁻¹ mod p — the dedicated Montgomery squaring.
+// Unlike Mul, the 2·Limbs-word full square is formed directly: the six
+// off-diagonal products x_i·x_j (i < j) are computed once and doubled
+// by a single carry-chain shift, then the four diagonal squares x_i²
+// are added in, saving ten of Mul's sixteen word multiplications.
+// The Montgomery reduction (four SOS steps over the 8-word square) is
+// fused onto the same accumulator. Aliasing z with x is allowed. No
+// heap allocation. Squarings dominate the doubling chains of every
+// scalar multiplication and every Fermat inversion, so this is the
+// single hottest word loop in the package.
+func (f *Field) Sqr(z, x *Element) {
+	// --- full square t[0..7] = x² ---
+	// Off-diagonal half first: t = Σ_{i<j} x_i·x_j·2^(64(i+j)).
+	p01h, p01l := bits.Mul64(x[0], x[1])
+	p02h, p02l := bits.Mul64(x[0], x[2])
+	p03h, p03l := bits.Mul64(x[0], x[3])
+	p12h, p12l := bits.Mul64(x[1], x[2])
+	p13h, p13l := bits.Mul64(x[1], x[3])
+	p23h, p23l := bits.Mul64(x[2], x[3])
+
+	var t [2 * Limbs]uint64
+	var c uint64
+	t[1] = p01l
+	t[2], c = bits.Add64(p01h, p02l, 0)
+	t[3], c = bits.Add64(p02h, p03l, c)
+	t[4], _ = bits.Add64(p03h, 0, c) // p03h ≤ 2^64−2, carry absorbs
+
+	t[3], c = bits.Add64(t[3], p12l, 0)
+	t[4], c = bits.Add64(t[4], p12h, c)
+	t[5] = c
+
+	t[4], c = bits.Add64(t[4], p13l, 0)
+	t[5], c = bits.Add64(t[5], p13h, c)
+	t[6] = c
+
+	t[5], c = bits.Add64(t[5], p23l, 0)
+	t[6], c = bits.Add64(t[6], p23h, c)
+	t[7] = c
+
+	// Double the off-diagonal half (2^512 cannot overflow: the full
+	// square x² < 2^512 bounds it).
+	t[7] = t[7]<<1 | t[6]>>63
+	t[6] = t[6]<<1 | t[5]>>63
+	t[5] = t[5]<<1 | t[4]>>63
+	t[4] = t[4]<<1 | t[3]>>63
+	t[3] = t[3]<<1 | t[2]>>63
+	t[2] = t[2]<<1 | t[1]>>63
+	t[1] = t[1] << 1
+
+	// Add the diagonal x_i² at word pairs (2i, 2i+1).
+	d0h, d0l := bits.Mul64(x[0], x[0])
+	d1h, d1l := bits.Mul64(x[1], x[1])
+	d2h, d2l := bits.Mul64(x[2], x[2])
+	d3h, d3l := bits.Mul64(x[3], x[3])
+	t[0] = d0l
+	t[1], c = bits.Add64(t[1], d0h, 0)
+	t[2], c = bits.Add64(t[2], d1l, c)
+	t[3], c = bits.Add64(t[3], d1h, c)
+	t[4], c = bits.Add64(t[4], d2l, c)
+	t[5], c = bits.Add64(t[5], d2h, c)
+	t[6], c = bits.Add64(t[6], d3l, c)
+	t[7], _ = bits.Add64(t[7], d3h, c) // exact: total is x² < 2^512
+
+	// --- Montgomery reduction (SOS): four rows of m_i·p folded in.
+	// The running value stays < p·(p + 2^256) < 2^513, so a single
+	// overflow bit beyond t[7] suffices.
+	var hi uint64
+	m := t[0] * f.n0
+	c, _ = madd1(m, f.p[0], t[0])
+	c, t[1] = madd2(m, f.p[1], t[1], c)
+	c, t[2] = madd2(m, f.p[2], t[2], c)
+	c, t[3] = madd2(m, f.p[3], t[3], c)
+	t[4], c = bits.Add64(t[4], c, 0)
+	t[5], c = bits.Add64(t[5], 0, c)
+	t[6], c = bits.Add64(t[6], 0, c)
+	t[7], c = bits.Add64(t[7], 0, c)
+	hi = c
+
+	m = t[1] * f.n0
+	c, _ = madd1(m, f.p[0], t[1])
+	c, t[2] = madd2(m, f.p[1], t[2], c)
+	c, t[3] = madd2(m, f.p[2], t[3], c)
+	c, t[4] = madd2(m, f.p[3], t[4], c)
+	t[5], c = bits.Add64(t[5], c, 0)
+	t[6], c = bits.Add64(t[6], 0, c)
+	t[7], c = bits.Add64(t[7], 0, c)
+	hi += c
+
+	m = t[2] * f.n0
+	c, _ = madd1(m, f.p[0], t[2])
+	c, t[3] = madd2(m, f.p[1], t[3], c)
+	c, t[4] = madd2(m, f.p[2], t[4], c)
+	c, t[5] = madd2(m, f.p[3], t[5], c)
+	t[6], c = bits.Add64(t[6], c, 0)
+	t[7], c = bits.Add64(t[7], 0, c)
+	hi += c
+
+	m = t[3] * f.n0
+	c, _ = madd1(m, f.p[0], t[3])
+	c, t[4] = madd2(m, f.p[1], t[4], c)
+	c, t[5] = madd2(m, f.p[2], t[5], c)
+	c, t[6] = madd2(m, f.p[3], t[6], c)
+	t[7], c = bits.Add64(t[7], c, 0)
+	hi += c
+
+	// Result is t[4..7] (+ overflow bit) < 2p; one conditional
+	// subtraction, as in Mul.
+	var r Element
+	var b uint64
+	r[0], b = bits.Sub64(t[4], f.p[0], 0)
+	r[1], b = bits.Sub64(t[5], f.p[1], b)
+	r[2], b = bits.Sub64(t[6], f.p[2], b)
+	r[3], b = bits.Sub64(t[7], f.p[3], b)
+	if hi != 0 || b == 0 {
+		*z = r
+	} else {
+		z[0], z[1], z[2], z[3] = t[4], t[5], t[6], t[7]
+	}
+}
+
+// BatchInv sets dst[i] = xs[i]⁻¹ mod p for every i, amortizing one
+// Fermat inversion across the whole batch via Montgomery's trick:
+// invert the running product of all inputs, then peel per-element
+// inverses off with two multiplications each (3(n−1) multiplications
+// plus one Inv, versus n full exponentiations). Zero elements are
+// skipped in place — dst[i] = 0, matching Inv's 0 ↦ 0 convention and
+// the way batched point normalization skips the point at infinity.
+// dst and xs must have equal length and may alias (including fully:
+// BatchInv(xs, xs) inverts in place). The only heap allocation is the
+// prefix-product scratch, one Element per input.
+func (f *Field) BatchInv(dst, xs []Element) {
+	if len(dst) != len(xs) {
+		panic("fp: BatchInv length mismatch")
+	}
+	n := len(xs)
+	if n == 0 {
+		return
+	}
+	// prefix[i] = product of the nonzero xs[0..i-1].
+	prefix := make([]Element, n+1)
+	prefix[0] = f.one
+	for i := range xs {
+		if f.IsZero(&xs[i]) {
+			prefix[i+1] = prefix[i]
+			continue
+		}
+		f.Mul(&prefix[i+1], &prefix[i], &xs[i])
+	}
+	var inv Element
+	f.Inv(&inv, &prefix[n]) // all-zero batch: Inv(1) = 1, loop writes only zeros
+	for i := n - 1; i >= 0; i-- {
+		if f.IsZero(&xs[i]) {
+			f.SetZero(&dst[i])
+			continue
+		}
+		x := xs[i] // value copy: dst may alias xs
+		f.Mul(&dst[i], &prefix[i], &inv)
+		f.Mul(&inv, &inv, &x)
+	}
+}
 
 // Inv sets z = x⁻¹ mod p via Fermat's little theorem: x^(p−2). The
 // exponentiation is 4-bit fixed-window (≈ 255 squarings + 64

@@ -300,11 +300,6 @@ func (c *Curve) straussInterleave(u1r, u2r *big.Int, qAdd func(*jacobianPoint, i
 // odd-multiples table of Q, nearly halving the doublings of two
 // independent multiplications.
 func (c *Curve) combinedMultBigReduced(q Point, u1r, u2r *big.Int) Point {
-	qTable := c.oddMultiples(q, wnafWindow)
-	return c.fromJacobian(c.straussInterleave(u1r, u2r, func(acc *jacobianPoint, d int8) *jacobianPoint {
-		if d > 0 {
-			return c.jacAdd(acc, qTable[(d-1)/2])
-		}
-		return c.jacAdd(acc, c.jacNeg(qTable[(-d-1)/2]))
-	}))
+	qAdd := c.qTableAdd(c.oddMultiples(q, wnafWindow))
+	return c.fromJacobian(c.straussInterleave(u1r, u2r, qAdd))
 }

@@ -1,0 +1,134 @@
+package ecdsa
+
+import (
+	"math/big"
+
+	"repro/internal/ec"
+)
+
+// Batch verification. An EstablishAll wave verifies one ECQV
+// certificate chain and one STS signature per peer — dozens of
+// independent ECDSA checks against mostly-cached keys. Verified one at
+// a time, each check pays a scalar inversion (s⁻¹ mod n) and a field
+// inversion (the affine conversion after CombinedMult). VerifyBatch
+// amortizes both: Montgomery's trick shares one modular inversion
+// across every signature on the same curve, and the deferred
+// CombinedMults converge in a single ec.BatchNormalize with one field
+// inversion per curve. Per-item results are exactly those of
+// VerifyDigest — batching changes cost, never answers — so a batch of
+// one is just a Verify with different plumbing.
+
+// BatchItem is one signature check: sig over a precomputed digest
+// under key.
+type BatchItem struct {
+	Key    *PublicKey
+	Digest []byte
+	Sig    Signature
+}
+
+// VerifyBatch checks every item and returns one verdict per item, in
+// order. Items that fail fast validation (nil or malformed key, r or s
+// out of range) get false without joining the batch; the rest share
+// scalar and field inversions as described in the package section
+// above. Keys with precomputed tables use them, exactly as VerifyDigest
+// does.
+func VerifyBatch(items []BatchItem) []bool {
+	ok := make([]bool, len(items))
+	// live[k] indexes the items that survived validation, grouped by
+	// curve so each group shares one scalar inversion and one field
+	// inversion.
+	live := make([]int, 0, len(items))
+	for i := range items {
+		it := &items[i]
+		if it.Key == nil || it.Key.Curve == nil || it.Sig.R == nil || it.Sig.S == nil {
+			continue
+		}
+		c := it.Key.Curve
+		if it.Sig.R.Sign() <= 0 || it.Sig.R.Cmp(c.N) >= 0 ||
+			it.Sig.S.Sign() <= 0 || it.Sig.S.Cmp(c.N) >= 0 {
+			continue
+		}
+		if it.Key.Q.IsInfinity() || !c.IsOnCurve(it.Key.Q) {
+			continue
+		}
+		live = append(live, i)
+	}
+	if len(live) == 0 {
+		return ok
+	}
+
+	deferred := make([]ec.DeferredPoint, len(live))
+	grouped := make([]bool, len(live))
+	group := make([]int, 0, len(live))
+	sInv := make([]*big.Int, 0, len(live))
+	for k := range live {
+		if grouped[k] {
+			continue
+		}
+		c := items[live[k]].Key.Curve
+		group = group[:0]
+		for j := k; j < len(live); j++ {
+			if !grouped[j] && items[live[j]].Key.Curve == c {
+				group = append(group, j)
+				grouped[j] = true
+			}
+		}
+		// One inversion for the whole group: w_j = s_j⁻¹ mod n by
+		// Montgomery's trick. Every s is in [1, n) with n prime, so the
+		// product is invertible.
+		sInv = sInv[:0]
+		for _, j := range group {
+			sInv = append(sInv, items[live[j]].Sig.S)
+		}
+		ws := batchModInverse(sInv, c.N)
+		for gi, j := range group {
+			it := &items[live[j]]
+			e := c.HashToInt(it.Digest)
+			w := ws[gi]
+			u1 := new(big.Int).Mul(e, w)
+			u1.Mod(u1, c.N)
+			u2 := new(big.Int).Mul(it.Sig.R, w)
+			u2.Mod(u2, c.N)
+			if it.Key.table != nil {
+				deferred[j] = it.Key.table.CombinedMultDeferred(u1, u2)
+			} else {
+				deferred[j] = c.CombinedMultDeferred(it.Key.Q, u1, u2)
+			}
+		}
+	}
+
+	// One field inversion per curve for all the R' points at once.
+	pts := ec.BatchNormalize(deferred)
+	v := new(big.Int)
+	for k, i := range live {
+		if pts[k].IsInfinity() {
+			continue
+		}
+		c := items[i].Key.Curve
+		v.Mod(pts[k].X, c.N)
+		ok[i] = v.Cmp(items[i].Sig.R) == 0
+	}
+	return ok
+}
+
+// batchModInverse returns xs[i]⁻¹ mod n for every xs[i] via
+// Montgomery's trick: one ModInverse for the whole slice plus three
+// multiplications per element. Every input must be in [1, n) with n
+// prime. The inputs are not modified.
+func batchModInverse(xs []*big.Int, n *big.Int) []*big.Int {
+	out := make([]*big.Int, len(xs))
+	prefix := make([]*big.Int, len(xs)+1)
+	prefix[0] = big.NewInt(1)
+	for i, x := range xs {
+		prefix[i+1] = new(big.Int).Mul(prefix[i], x)
+		prefix[i+1].Mod(prefix[i+1], n)
+	}
+	inv := new(big.Int).ModInverse(prefix[len(xs)], n)
+	for i := len(xs) - 1; i >= 0; i-- {
+		out[i] = new(big.Int).Mul(prefix[i], inv)
+		out[i].Mod(out[i], n)
+		inv.Mul(inv, xs[i])
+		inv.Mod(inv, n)
+	}
+	return out
+}

@@ -100,6 +100,13 @@ type Stats struct {
 	// verification table are served from cache on every rekey, so a
 	// steady-state fleet shows hits growing with rekeys.
 	KeyCache core.CacheStats
+
+	// SharedTables reports the process-global precomputed-table cache
+	// that all parties' key caches consult before building. In an
+	// EstablishAll wave every responder verifies the same initiator
+	// key, so one build serves the whole wave; the counters are global
+	// to the process, not to this manager.
+	SharedTables core.SharedTableStats
 }
 
 type peerState struct {
@@ -337,6 +344,7 @@ func (m *Manager) Stats() Stats {
 		HandshakeRetries: int(m.hsRetries.Load()),
 		FailedAttempts:   int(m.hsFailures.Load()),
 		KeyCache:         m.self.KeyCache().Stats(),
+		SharedTables:     core.SharedTables().Stats(),
 	}
 }
 

@@ -232,3 +232,103 @@ func TestManagerConcurrentStress(t *testing.T) {
 		t.Errorf("handshakes = %d, want %d", st.Handshakes, wantHandshakes)
 	}
 }
+
+// TestSharedTableStressConsistency runs concurrent EstablishAll waves
+// plus rekey-forcing traffic and then reconciles the fleet-global
+// SharedTableCache counters against the per-party key caches. The
+// global cache is process-wide, so everything is asserted on deltas
+// from a baseline snapshot. Invariants checked:
+//
+//   - every shared hit recorded globally is attributed to exactly one
+//     party's SharedHits counter (Σ ΔSharedHits == ΔHits);
+//   - sharing actually happened: in a wave all responders verify the
+//     same gateway key, so one build serves the rest;
+//   - Manager.Stats reports the same global counters;
+//   - the whole dance is race-clean (this test runs under `make race`).
+func TestSharedTableStressConsistency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test skipped in -short mode")
+	}
+	const peers = 8
+	parties := provisionBatch(t, 63, 1+peers)
+	gw := parties[0]
+
+	base := core.SharedTables().Stats()
+	baseShared := make([]int, len(parties))
+	for i, p := range parties {
+		baseShared[i] = p.KeyCache().Stats().SharedHits
+	}
+
+	m, err := NewManager(gw, core.OptNone, session.Policy{MaxRecords: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := errors.Join(m.EstablishAll(parties[1:], 4)...); err != nil {
+		t.Fatalf("initial establishment: %v", err)
+	}
+
+	var wg sync.WaitGroup
+	// Re-establishment churn: two concurrent wave rounds over halves of
+	// the fleet.
+	for _, half := range [][]*core.Party{parties[1 : 1+peers/2], parties[1+peers/2:]} {
+		wg.Add(1)
+		go func(half []*core.Party) {
+			defer wg.Done()
+			for round := 0; round < 2; round++ {
+				if err := errors.Join(m.EstablishAll(half, 2)...); err != nil {
+					t.Errorf("re-establish round %d: %v", round, err)
+					return
+				}
+			}
+		}(half)
+	}
+	// Rekey churn: MaxRecords=2 trips a transparent rekey (a full STS
+	// run, with its verifications) every other record.
+	for _, p := range parties[1:] {
+		wg.Add(1)
+		go func(p *core.Party) {
+			defer wg.Done()
+			for i := 0; i < 6; i++ {
+				rec, err := m.Seal(p.ID, []byte{byte(i)})
+				if err != nil {
+					t.Errorf("%s seal %d: %v", p.ID, i, err)
+					return
+				}
+				if _, err := m.Open(p.ID, rec); err != nil &&
+					!errors.Is(err, session.ErrAuth) && !errors.Is(err, session.ErrReplay) {
+					t.Errorf("%s open %d: %v", p.ID, i, err)
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+
+	global := core.SharedTables().Stats()
+	dHits := global.Hits - base.Hits
+	dMisses := global.Misses - base.Misses
+	sumSharedHits := 0
+	for i, p := range parties {
+		st := p.KeyCache().Stats()
+		sumSharedHits += st.SharedHits - baseShared[i]
+		if st.SharedHits > st.Misses {
+			t.Errorf("party %d: SharedHits %d exceeds Misses %d", i, st.SharedHits, st.Misses)
+		}
+	}
+	if sumSharedHits != dHits {
+		t.Errorf("shared hits don't reconcile: parties saw %d, global counted %d", sumSharedHits, dHits)
+	}
+	if dHits == 0 {
+		t.Error("no fleet-wide table sharing in an EstablishAll wave")
+	}
+	if dMisses == 0 {
+		t.Error("no shared-level misses: someone must have built the tables")
+	}
+	if got := m.Stats().SharedTables; got != core.SharedTables().Stats() {
+		t.Errorf("Manager.Stats().SharedTables = %+v diverges from global %+v",
+			got, core.SharedTables().Stats())
+	}
+	if st := gw.KeyCache().Stats(); st.WaveItems < st.WaveBatches || st.WaveItems == 0 {
+		t.Errorf("gateway wave accounting inconsistent: %+v", st)
+	}
+}
