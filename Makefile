@@ -10,7 +10,7 @@ SHELL := /bin/bash
 BENCH_COMPARE ?= BenchmarkScalarMultAblation|BenchmarkFig3_STSOperations|BenchmarkLiveHandshake
 BENCH_COUNT ?= 5
 
-.PHONY: build test race race-parallel test-purebig bench bench-smoke bench-compare bench-batch bench-alloc bench-scenarios scenario-smoke parallel-invariance fuzz-smoke fmt fmt-check vet lint cover
+.PHONY: build test race race-parallel test-purebig bench bench-smoke bench-compare bench-batch bench-alloc bench-scenarios scenario-smoke adversarial-smoke parallel-invariance fuzz-smoke fmt fmt-check vet lint doccheck linkcheck cover
 
 build:
 	$(GO) build ./...
@@ -91,7 +91,7 @@ bench-batch:
 # (plus the CLI's serial-reference self-check inside each run) and the
 # two JSON outputs must be byte-identical — the fair-queuing egress
 # scheduler is what makes this combination reproducible at all.
-scenario-smoke: parallel-invariance
+scenario-smoke: parallel-invariance adversarial-smoke
 	$(GO) run ./cmd/scenario -name smoke -peers 4 -segments 3 \
 		-sweep drop:0,0.05,0.10 -attempts 10 \
 		-json scenario-smoke.json -csv scenario-smoke.csv
@@ -104,6 +104,34 @@ scenario-smoke: parallel-invariance
 		-check-invariance -json congested-smoke-b.json >/dev/null
 	cmp congested-smoke-a.json congested-smoke-b.json
 	$(GO) run ./cmd/scenario -validate congested-smoke-a.json
+
+# The adversarial-smoke gate: a replay storm and a babbling-idiot
+# attack, each run at -workers 1 and -workers 8, all three output
+# formats byte-compared (the attack-workload schedule-invariance
+# contract) and schema-validated — which also enforces zero accepted
+# replays, so a freshness-binding regression fails CI here before it
+# could ever land in a committed curve. Finishes in seconds: all time
+# is simulated.
+ADV_REPLAY := -workload attack -adversary replay -peers 4 -segments 3 -seed 42
+ADV_BABBLE := -workload attack -adversary babble -peers 4 -segments 3 -seed 42 \
+	-egress-rate 800 -egress-queue 64 -sweep attack:0,2000,8000
+adversarial-smoke:
+	$(GO) run ./cmd/scenario -name adv-replay $(ADV_REPLAY) -workers 1 \
+		-json adv-replay-w1.json -csv adv-replay-w1.csv -trace adv-replay-w1.trace >/dev/null
+	$(GO) run ./cmd/scenario -name adv-replay $(ADV_REPLAY) -workers 8 \
+		-json adv-replay-w8.json -csv adv-replay-w8.csv -trace adv-replay-w8.trace >/dev/null
+	cmp adv-replay-w1.json adv-replay-w8.json
+	cmp adv-replay-w1.csv adv-replay-w8.csv
+	cmp adv-replay-w1.trace adv-replay-w8.trace
+	$(GO) run ./cmd/scenario -validate adv-replay-w8.json
+	$(GO) run ./cmd/scenario -name adv-babble $(ADV_BABBLE) -workers 1 \
+		-json adv-babble-w1.json -csv adv-babble-w1.csv -trace adv-babble-w1.trace >/dev/null
+	$(GO) run ./cmd/scenario -name adv-babble $(ADV_BABBLE) -workers 8 \
+		-json adv-babble-w8.json -csv adv-babble-w8.csv -trace adv-babble-w8.trace >/dev/null
+	cmp adv-babble-w1.json adv-babble-w8.json
+	cmp adv-babble-w1.csv adv-babble-w8.csv
+	cmp adv-babble-w1.trace adv-babble-w8.trace
+	$(GO) run ./cmd/scenario -validate adv-babble-w8.json
 
 # The parallel-invariance gate: the same 8-point impaired sweep runs
 # at -workers 1 and -workers 8 (each also emitting its full fault/
@@ -148,6 +176,17 @@ bench-scenarios:
 	$(GO) run ./cmd/scenario -name shared-gateway-bringup -workload bringup -peers 8 \
 		-egress-rate 600 -egress-queue 256 -egress-shared \
 		-bench BENCH_scenarios.json >/dev/null
+	$(GO) run ./cmd/scenario -name replay-storm -workload attack -adversary replay \
+		-peers 8 -bench BENCH_scenarios.json >/dev/null
+	$(GO) run ./cmd/scenario -name babbling-idiot -workload attack -adversary babble \
+		-peers 8 -egress-rate 800 -egress-queue 64 \
+		-sweep attack:0,1000,2000,4000,8000,16000 -bench BENCH_scenarios.json >/dev/null
+	$(GO) run ./cmd/scenario -name partition-heal -workload attack -adversary partition \
+		-peers 8 -sweep attack:0.001,0.9,1.8,3.5,6 \
+		-bench BENCH_scenarios.json >/dev/null
+	$(GO) run ./cmd/scenario -name day-in-the-life -workload day-in-the-life \
+		-adversary inject,replay -attack-intensity 0.5 -peers 8 -drop 0.01 \
+		-bench BENCH_scenarios.json >/dev/null
 
 # Brief fuzzing of the protocol parsers (committed corpora under
 # testdata/fuzz replay in every plain `go test` run; this target digs
@@ -170,10 +209,25 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-# Static analysis beyond vet. staticcheck and govulncheck are not
-# vendored; CI installs them, and locally the target degrades to vet
-# with a notice rather than failing on a missing binary.
-lint: vet
+# The godoc contract on the deterministic-simulation packages: every
+# package comment and every exported declaration documented (doc
+# comments there state determinism obligations, so a missing one is a
+# missing contract). Zero dependencies — a go/ast walk.
+DOCCHECK_PKGS := ./internal/scenario ./internal/canbus ./internal/security \
+	./internal/transport ./internal/fleet
+doccheck:
+	$(GO) run ./cmd/doccheck $(DOCCHECK_PKGS)
+
+# Every relative link in the repo's markdown must resolve to a file
+# that exists (external URLs are out of scope — no network in CI).
+linkcheck:
+	$(GO) run ./cmd/linkcheck README.md docs/*.md
+
+# Static analysis beyond vet. doccheck and linkcheck are in-repo (no
+# install needed); staticcheck and govulncheck are not vendored — CI
+# installs them, and locally the target degrades to the in-repo
+# checks with a notice rather than failing on a missing binary.
+lint: vet doccheck linkcheck
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
 	else \

@@ -1,0 +1,147 @@
+// Command doccheck enforces the repo's godoc contract on the packages
+// it is pointed at: every package has a package comment and every
+// exported top-level declaration — type, function, method, var or
+// const group — carries a doc comment. The deterministic-simulation
+// packages (scenario, canbus, security, transport) lean on doc
+// comments to state determinism obligations, so a missing comment
+// there is a missing contract, not a style nit. It is a small
+// go/ast walk rather than a staticcheck dependency so `make lint`
+// works on a bare toolchain.
+//
+// Usage:
+//
+//	go run ./cmd/doccheck ./internal/scenario ./internal/canbus ...
+//
+// Exits non-zero listing every violation as file:line: symbol.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: doccheck <package-dir>...")
+		os.Exit(2)
+	}
+	var violations []string
+	for _, dir := range os.Args[1:] {
+		v, err := checkDir(strings.TrimPrefix(dir, "./"))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+			os.Exit(2)
+		}
+		violations = append(violations, v...)
+	}
+	if len(violations) > 0 {
+		sort.Strings(violations)
+		for _, v := range violations {
+			fmt.Println(v)
+		}
+		fmt.Printf("doccheck: %d undocumented exported declarations\n", len(violations))
+		os.Exit(1)
+	}
+}
+
+// checkDir parses one package directory (tests excluded — test
+// helpers document themselves through their assertions) and returns
+// its violations.
+func checkDir(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, pkg := range pkgs {
+		hasPkgDoc := false
+		files := make([]string, 0, len(pkg.Files))
+		for name := range pkg.Files {
+			files = append(files, name)
+		}
+		sort.Strings(files)
+		for _, name := range files {
+			f := pkg.Files[name]
+			if f.Doc != nil {
+				hasPkgDoc = true
+			}
+			out = append(out, checkFile(fset, f)...)
+		}
+		if !hasPkgDoc {
+			out = append(out, fmt.Sprintf("%s: package %s has no package comment", filepath.Join(dir, files[0]), pkg.Name))
+		}
+	}
+	return out, nil
+}
+
+// checkFile reports every exported declaration in one file that lacks
+// a doc comment.
+func checkFile(fset *token.FileSet, f *ast.File) []string {
+	var out []string
+	report := func(pos token.Pos, what string) {
+		p := fset.Position(pos)
+		out = append(out, fmt.Sprintf("%s:%d: %s has no doc comment", p.Filename, p.Line, what))
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || d.Doc != nil {
+				continue
+			}
+			name := d.Name.Name
+			if d.Recv != nil && len(d.Recv.List) == 1 {
+				if rn := receiverType(d.Recv.List[0].Type); rn != "" {
+					if !ast.IsExported(rn) {
+						continue // methods on unexported types are internal
+					}
+					name = rn + "." + name
+				}
+			}
+			report(d.Pos(), "func "+name)
+		case *ast.GenDecl:
+			if d.Tok != token.TYPE && d.Tok != token.VAR && d.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if s.Name.IsExported() && d.Doc == nil && s.Doc == nil {
+						report(s.Pos(), "type "+s.Name.Name)
+					}
+				case *ast.ValueSpec:
+					for _, n := range s.Names {
+						// A group comment on the decl or a spec comment
+						// both satisfy the contract (idiomatic for const
+						// blocks with a shared story).
+						if n.IsExported() && d.Doc == nil && s.Doc == nil {
+							report(n.Pos(), strings.ToLower(d.Tok.String())+" "+n.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// receiverType unwraps a method receiver expression to its type name.
+func receiverType(expr ast.Expr) string {
+	switch t := expr.(type) {
+	case *ast.StarExpr:
+		return receiverType(t.X)
+	case *ast.Ident:
+		return t.Name
+	case *ast.IndexExpr: // generic receiver
+		return receiverType(t.X)
+	}
+	return ""
+}

@@ -1,0 +1,106 @@
+// Command linkcheck verifies the relative links in the repo's
+// markdown files: every [text](target) whose target is not an
+// external URL must point at a file or directory that exists
+// (anchors are stripped; a missing anchor is a soft failure markdown
+// renderers tolerate, a missing file is a broken doc). No network
+// access, no dependencies — external URLs are out of scope by design
+// so the check stays deterministic and CI-safe.
+//
+// Usage:
+//
+//	go run ./cmd/linkcheck README.md docs/*.md
+//
+// Exits non-zero listing every dangling link as file:line: target.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRE matches inline markdown links, non-greedily so multiple
+// links on one line each match. Images (![alt](src)) match too —
+// a dangling image is just as broken.
+var linkRE = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: linkcheck <markdown-file>...")
+		os.Exit(2)
+	}
+	broken := 0
+	for _, path := range os.Args[1:] {
+		n, err := checkFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "linkcheck: %v\n", err)
+			os.Exit(2)
+		}
+		broken += n
+	}
+	if broken > 0 {
+		fmt.Printf("linkcheck: %d dangling links\n", broken)
+		os.Exit(1)
+	}
+}
+
+// checkFile scans one markdown file and reports its dangling relative
+// links, returning how many it found.
+func checkFile(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+
+	broken := 0
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	inFence := false
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		// Skip fenced code blocks: example snippets aren't links.
+		if strings.HasPrefix(strings.TrimSpace(text), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		for _, m := range linkRE.FindAllStringSubmatch(text, -1) {
+			target := m[1]
+			if skip(target) {
+				continue
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue // pure in-page anchor
+			}
+			resolved := filepath.Join(filepath.Dir(path), target)
+			if _, err := os.Stat(resolved); err != nil {
+				fmt.Printf("%s:%d: dangling link %s\n", path, line, m[1])
+				broken++
+			}
+		}
+	}
+	return broken, sc.Err()
+}
+
+// skip reports whether a link target is out of scope: external URLs
+// and mail links need a network to verify, which this checker
+// deliberately does not have.
+func skip(target string) bool {
+	for _, p := range []string{"http://", "https://", "mailto:", "ftp://"} {
+		if strings.HasPrefix(target, p) {
+			return true
+		}
+	}
+	return false
+}

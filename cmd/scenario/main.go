@@ -15,6 +15,15 @@
 //	# Fleet bring-up under churn behind a congested gateway:
 //	scenario -workload churn -peers 8 -egress-rate 800 -json churn.json
 //
+//	# Victim-handshake latency vs babble rate, fair-queuing gateway
+//	# isolating the victims:
+//	scenario -workload attack -adversary babble -egress-rate 800 \
+//	         -sweep attack:0,1000,4000,16000 -json babble.json
+//
+//	# Replay storm: record every handshake, re-inject it verbatim,
+//	# assert zero accepted replays end-to-end:
+//	scenario -workload attack -adversary replay -json replay.json
+//
 //	# Schema-drift gate (CI): re-validate an emitted file:
 //	scenario -validate curve.json
 package main
@@ -49,7 +58,7 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("scenario", flag.ContinueOnError)
 	var (
 		name         = fs.String("name", "", "scenario name (defaults to workload-axis)")
-		workload     = fs.String("workload", "latency", "workload: latency | bringup | churn")
+		workload     = fs.String("workload", "latency", "workload: latency | bringup | churn | attack | day-in-the-life")
 		peers        = fs.Int("peers", 8, "fleet size")
 		segments     = fs.Int("segments", 3, "CAN segments in the gateway chain")
 		seed         = fs.Uint64("seed", 42, "impairment and randomness seed")
@@ -66,7 +75,11 @@ func run(args []string, stdout io.Writer) error {
 		duplicate    = fs.Float64("duplicate", 0, "base frame duplication rate [0,1]")
 		delayRate    = fs.Float64("delay-rate", 0, "base frame delay rate [0,1]")
 		delay        = fs.Duration("delay", 0, "extra latency per delayed frame (with -delay-rate)")
-		sweep        = fs.String("sweep", "", "sweep spec: [axis:]p1,p2,... (axis: drop | corrupt | duplicate)")
+		sweep        = fs.String("sweep", "", "sweep spec: [axis:]p1,p2,... (axis: drop | corrupt | duplicate | attack)")
+		adversaries  = fs.String("adversary", "", "comma list of adversaries for the attack workloads: replay | inject | babble | partition")
+		attackInt    = fs.Float64("attack-intensity", 0, "adversary intensity (babble: frames/s; inject: forge probability [0,1]; partition: heal window in seconds; replay: session cap, 0 = all); an attack sweep overrides it per point")
+		attackSeg    = fs.Int("attack-segment", -1, "bus segment the adversaries operate on (-1 = kind default: last segment, babble segment 0)")
+		attackStart  = fs.Duration("attack-start", 0, "attack onset delay past the workload start (simulated; 0 = kind default)")
 		jsonPath     = fs.String("json", "", "write the result JSON here ('-' or empty = stdout)")
 		csvPath      = fs.String("csv", "", "also write the flattened curve CSV here")
 		tracePath    = fs.String("trace", "", "also write the full fault/recovery trace here")
@@ -112,6 +125,7 @@ func run(args []string, stdout io.Writer) error {
 		Attempts:       *attempts,
 		Parallelism:    *parallelism,
 		ChurnRounds:    *churnRounds,
+		Adversaries:    parseAdversaries(*adversaries, *attackInt, *attackSeg, *attackStart),
 	}
 	if s.Name == "" {
 		s.Name = *workload
@@ -216,6 +230,32 @@ func checkInvariance(s scenario.Scenario, res *scenario.Result, timing *scenario
 	fmt.Fprintf(stdout, "invariance: workers %d / parallelism %d == serial reference (%d identical bytes)\n",
 		timing.Workers, s.Parallelism, len(got))
 	return serialTiming.WallClock, nil
+}
+
+// parseAdversaries decodes the -adversary comma list into configs,
+// all sharing the flag-level intensity/segment/start knobs (scenarios
+// needing per-adversary knobs are expressed in Go against the
+// scenario package; the CLI covers the common one-attack case and the
+// composite with uniform intensity). Unknown kinds pass through for
+// Validate to reject with its richer error.
+func parseAdversaries(spec string, intensity float64, segment int, start time.Duration) []scenario.AdversaryConfig {
+	if spec == "" {
+		return nil
+	}
+	var out []scenario.AdversaryConfig
+	for _, tok := range strings.Split(spec, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		out = append(out, scenario.AdversaryConfig{
+			Kind:      scenario.AdversaryKind(tok),
+			Segment:   segment,
+			Intensity: intensity,
+			Start:     start,
+		})
+	}
+	return out
 }
 
 // parseSweep decodes "[axis:]p1,p2,...": an optional axis prefix

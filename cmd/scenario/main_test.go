@@ -59,7 +59,7 @@ func TestCLIEndToEnd(t *testing.T) {
 	if err := run([]string{"-validate", jsonPath}, &out); err != nil {
 		t.Fatalf("-validate rejected fresh output: %v", err)
 	}
-	if !strings.Contains(out.String(), "schema v3 ok") {
+	if !strings.Contains(out.String(), "schema v4 ok") {
 		t.Errorf("validate output: %q", out.String())
 	}
 
@@ -297,5 +297,93 @@ func TestParseSweep(t *testing.T) {
 	}
 	if axis, pts, err := parseSweep(""); axis != "" || pts != nil || err != nil {
 		t.Error("empty spec must be a no-op")
+	}
+}
+
+// TestCLIAttackWorkload drives the replay adversary end-to-end through
+// the CLI, then feeds the emitted curve back through -validate — the
+// same loop the CI adversarial-smoke leg runs.
+func TestCLIAttackWorkload(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "attack.json")
+	csvPath := filepath.Join(dir, "attack.csv")
+
+	var out bytes.Buffer
+	if err := run([]string{
+		"-name", "cli-attack", "-peers", "2", "-segments", "2", "-seed", "13",
+		"-workload", "attack", "-adversary", "replay,inject", "-attack-intensity", "0.4",
+		"-json", jsonPath, "-csv", csvPath,
+	}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := scenario.ValidateJSON(data)
+	if err != nil {
+		t.Fatalf("attack JSON fails the schema gate: %v", err)
+	}
+	if len(res.Points) != 1 || len(res.Points[0].Attacks) != 2 {
+		t.Fatalf("attack accounting missing: %+v", res.Points)
+	}
+	for _, a := range res.Points[0].Attacks {
+		if a.AcceptedReplays != 0 {
+			t.Fatalf("SECURITY: CLI run accepted %d replays", a.AcceptedReplays)
+		}
+	}
+	csv, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(strings.Split(string(csv), "\n")[0], "accepted_replays") {
+		t.Error("CSV header missing attack columns")
+	}
+
+	out.Reset()
+	if err := run([]string{"-validate", jsonPath}, &out); err != nil {
+		t.Fatalf("-validate rejected the attack curve: %v", err)
+	}
+
+	// The invariance self-check must hold for attack workloads too.
+	if err := run([]string{
+		"-name", "cli-attack-inv", "-peers", "2", "-segments", "2", "-seed", "13",
+		"-workload", "attack", "-adversary", "babble", "-attack-intensity", "2000",
+		"-egress-rate", "800", "-egress-queue", "64",
+		"-sweep", "attack:0,2000", "-check-invariance",
+	}, &out); err != nil {
+		t.Fatalf("attack invariance self-check failed: %v", err)
+	}
+}
+
+// TestCLIAttackErrors: adversary misuse fails loudly at validation.
+func TestCLIAttackErrors(t *testing.T) {
+	var out bytes.Buffer
+	cases := [][]string{
+		{"-workload", "attack", "-peers", "2"},                                                   // attack without adversaries
+		{"-workload", "attack", "-adversary", "ghost", "-peers", "2"},                            // unknown kind
+		{"-workload", "latency", "-adversary", "replay", "-peers", "2"},                          // adversary on benign workload
+		{"-workload", "attack", "-adversary", "inject", "-attack-intensity", "2", "-peers", "2"}, // probability out of range
+		{"-workload", "attack", "-adversary", "partition", "-segments", "1", "-peers", "2"},      // partition needs a gateway
+	}
+	for _, args := range cases {
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v succeeded", args)
+		}
+	}
+}
+
+func TestParseAdversaries(t *testing.T) {
+	if got := parseAdversaries("", 0, -1, 0); got != nil {
+		t.Errorf("empty spec returned %v", got)
+	}
+	got := parseAdversaries(" replay, babble ", 4000, 1, 0)
+	if len(got) != 2 || got[0].Kind != scenario.AdversaryReplay || got[1].Kind != scenario.AdversaryBabble {
+		t.Fatalf("parsed %+v", got)
+	}
+	for _, cfg := range got {
+		if cfg.Intensity != 4000 || cfg.Segment != 1 {
+			t.Errorf("shared knobs not applied: %+v", cfg)
+		}
 	}
 }

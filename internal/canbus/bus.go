@@ -57,8 +57,9 @@ type Stats struct {
 
 // Node is a bus endpoint with a bounded receive queue.
 type Node struct {
-	bus  *Bus
-	name string
+	bus     *Bus
+	name    string
+	monitor bool
 
 	mu       sync.Mutex
 	rx       []Frame
@@ -145,6 +146,24 @@ func (b *Bus) Attach(name string) *Node {
 	return n
 }
 
+// Tap attaches a promiscuous monitor node: it hears every delivered
+// frame on the bus (post-impairment, exactly the bytes real receivers
+// see — a dropped frame is invisible to the tap too, it died on the
+// wire) with an unbounded receive queue, and it is excluded from
+// every delivery counter — candidates, Broadcast, RxOverflow — so
+// installing a tap never perturbs the measurements of the traffic it
+// observes. That exclusion is a determinism obligation: scenario
+// adversaries record through taps, and a benign run with and without
+// a tap must produce byte-identical results. The returned node can
+// still Send, which is the adversary's injection port.
+func (b *Bus) Tap(name string) *Node {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := &Node{bus: b, name: name, monitor: true}
+	b.nodes = append(b.nodes, n)
+	return n
+}
+
 // Stats returns a snapshot of the bus counters.
 func (b *Bus) Stats() Stats {
 	b.mu.Lock()
@@ -214,7 +233,12 @@ func (n *Node) send(f Frame) (sendResult, error) {
 	b.stats.PadBytes += padded - rawLen
 	b.stats.WireTime += wt
 	b.clock.Advance(wt)
-	res := sendResult{wire: wt, candidates: len(b.nodes) - 1}
+	res := sendResult{wire: wt}
+	for _, peer := range b.nodes {
+		if peer != n && !peer.monitor {
+			res.candidates++
+		}
+	}
 
 	copies := 1
 	var delivered []byte
@@ -258,6 +282,14 @@ func (n *Node) send(f Frame) (sendResult, error) {
 				Extended: f.Extended,
 				BRS:      f.BRS,
 				Data:     append([]byte(nil), delivered...),
+			}
+			if peer.monitor {
+				// Monitor taps observe without participating: their
+				// unbounded queues take every copy, and no delivery
+				// counter moves — a tapped bus measures identically to
+				// an untapped one.
+				peer.enqueue(out)
+				continue
 			}
 			if peer.enqueue(out) {
 				b.stats.Broadcast++
@@ -321,4 +353,5 @@ func (n *Node) Overflow() int {
 // Name returns the node's attach name.
 func (n *Node) Name() string { return n.name }
 
+// String renders the node for diagnostics and fault traces.
 func (n *Node) String() string { return fmt.Sprintf("canbus.Node(%s)", n.name) }

@@ -57,6 +57,7 @@ type GatewayStats struct {
 	EgressQueued  int           // frames that entered a port's release schedule instead of leaving within the pump that drained them
 	StoreTime     time.Duration // cumulative store-and-forward latency charged to forwarded frames
 	EgressDropped int           // frames lost to a full per-flow egress queue
+	PartitionDrop int           // frames lost at a severed port (heard on it or routed toward it while the link was down)
 }
 
 // EgressPolicy models a congested gateway port: a transmit rate limit
@@ -142,6 +143,14 @@ type egressFlow struct {
 type gatewayPort struct {
 	bus  *Bus
 	node *Node
+
+	// down marks a severed link (SetLinkUp(bus, false)): frames heard
+	// on the port are discarded instead of routed, frames routed toward
+	// it are discarded instead of scheduled, and frames already sitting
+	// in its release schedule are held — they flood out on heal, the
+	// store-and-forward burst a real gateway produces when a link comes
+	// back.
+	down bool
 
 	policy EgressPolicy
 	flows  []*egressFlow // admission order; release order is by tag
@@ -238,6 +247,31 @@ func (g *Gateway) SetEgress(bus *Bus, p EgressPolicy) error {
 	return nil
 }
 
+// SetLinkUp marks the gateway's port on a bus up (the default) or
+// down, modelling a severed harness connector or a failed transceiver.
+// While the link is down the port neither routes frames it hears nor
+// accepts frames routed toward it — both are discarded and counted in
+// PartitionDrop — but frames already in the port's release schedule
+// are held and flood out after heal. The flip itself is free of
+// scheduling nondeterminism: partition adversaries drive it from the
+// simulated clock, so a severed window is a pure function of the
+// scenario definition. It is an error to name a bus the gateway has no
+// port on.
+func (g *Gateway) SetLinkUp(bus *Bus, up bool) error {
+	if bus == nil {
+		return errors.New("canbus: SetLinkUp needs a bus")
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, p := range g.ports {
+		if p.bus == bus {
+			p.down = !up
+			return nil
+		}
+	}
+	return fmt.Errorf("canbus: gateway %s has no port on that bus", g.name)
+}
+
 // EgressBacklog returns the number of frames scheduled for later
 // release on the port for a bus — rate-gated and store-latency-gated
 // alike (0 when the port does not exist or holds nothing).
@@ -303,6 +337,12 @@ func (g *Gateway) Pump() int {
 				break
 			}
 			moved++
+			if p.down {
+				// A severed link hears nothing: the frame reached the
+				// transceiver but the gateway never saw it.
+				g.stats.PartitionDrop++
+				continue
+			}
 			matched := false
 			for _, r := range g.routes {
 				if r.from != p {
@@ -335,6 +375,12 @@ func (g *Gateway) Pump() int {
 // pre-scheduler behaviour; everything else is tagged by its flow's
 // virtual clock and queued for drainEgress.
 func (g *Gateway) emit(p *gatewayPort, f Frame, latency time.Duration) {
+	if p.down {
+		// The outbound link is severed: the frame is lost in transit,
+		// exactly as if the harness were cut mid-hop.
+		g.stats.PartitionDrop++
+		return
+	}
 	if g.clock == nil {
 		// No timekeeping: nothing to gate on, forward immediately.
 		g.forward(p, f)
@@ -375,7 +421,8 @@ func (g *Gateway) emit(p *gatewayPort, f Frame, latency time.Duration) {
 // advance the clock, which can make further frames due within the
 // same drain.
 func (g *Gateway) drainEgress(p *gatewayPort) int {
-	if g.clock == nil {
+	if g.clock == nil || p.down {
+		// A severed port holds its schedule: releases resume on heal.
 		return 0
 	}
 	sent := 0
@@ -468,6 +515,12 @@ func (g *Gateway) NextDeadline() time.Duration {
 	defer g.mu.Unlock()
 	var min time.Duration
 	for _, p := range g.ports {
+		if p.down {
+			// Nothing releases from a severed port, so its schedule
+			// arms no timer; the heal (an adversary deadline) is what
+			// the world will step to.
+			continue
+		}
 		for _, fl := range p.flows {
 			if len(fl.queue) == 0 {
 				continue

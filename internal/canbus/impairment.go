@@ -72,6 +72,7 @@ const (
 	FaultDelay
 )
 
+// String renders the fault kind for traces and log lines.
 func (k FaultKind) String() string {
 	switch k {
 	case FaultDrop:

@@ -1,0 +1,174 @@
+package canbus
+
+import (
+	"testing"
+	"time"
+)
+
+// TestTapHearsEverythingCountsNothing: the promiscuous monitor sees
+// every delivered frame but leaves the bus counters — Broadcast,
+// candidates (via arbitration), RxOverflow — exactly as they'd be on
+// an untapped bus. That invisibility is the determinism obligation
+// scenario recorders rely on.
+func TestTapHearsEverythingCountsNothing(t *testing.T) {
+	run := func(withTap bool) (Stats, int) {
+		clock := NewClock()
+		bus := NewBus(PrototypeRates)
+		bus.SetClock(clock)
+		tx := bus.Attach("tx")
+		rx := bus.Attach("rx")
+		rx.SetRxLimit(2)
+		var tap *Node
+		if withTap {
+			tap = bus.Tap("tap")
+		}
+		for i := 0; i < 5; i++ {
+			if _, err := tx.Send(Frame{ID: 0x100, Data: []byte{byte(i)}}); err != nil {
+				t.Fatal(err)
+			}
+			clock.Advance(time.Millisecond)
+		}
+		heard := 0
+		if tap != nil {
+			heard = tap.Pending()
+		}
+		return bus.Stats(), heard
+	}
+
+	bare, _ := run(false)
+	tapped, heard := run(true)
+	if bare != tapped {
+		t.Errorf("tap perturbed bus counters:\nwithout %+v\nwith    %+v", bare, tapped)
+	}
+	if heard != 5 {
+		t.Errorf("tap heard %d frames, want 5", heard)
+	}
+	// The receiver overflowed at limit 2 in both runs — the overflow
+	// belongs to the real receiver, never to the tap's unbounded queue.
+	if tapped.RxOverflow != 3 {
+		t.Errorf("RxOverflow = %d, want 3", tapped.RxOverflow)
+	}
+}
+
+// TestTapObservesPostImpairment: a frame the wire drops is invisible
+// to the tap too — it records what receivers actually saw.
+func TestTapObservesPostImpairment(t *testing.T) {
+	clock := NewClock()
+	bus := NewBus(PrototypeRates)
+	bus.SetClock(clock)
+	bus.Impair(Impairment{Seed: 1, Drop: 1}) // drop everything
+	tx := bus.Attach("tx")
+	bus.Attach("rx")
+	tap := bus.Tap("tap")
+	if _, err := tx.Send(Frame{ID: 0x100, Data: []byte{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if tap.Pending() != 0 {
+		t.Error("tap heard a frame the wire dropped")
+	}
+}
+
+// TestTapInjects: the tap's Send is the adversary's injection port —
+// frames it sends are delivered and counted like any node's.
+func TestTapInjects(t *testing.T) {
+	clock := NewClock()
+	bus := NewBus(PrototypeRates)
+	bus.SetClock(clock)
+	rx := bus.Attach("rx")
+	tap := bus.Tap("tap")
+	if _, err := tap.Send(Frame{ID: 0x123, Data: []byte{0xAA}}); err != nil {
+		t.Fatal(err)
+	}
+	f, ok := rx.Receive()
+	if !ok || f.ID != 0x123 {
+		t.Fatalf("injected frame not delivered: %v %v", f, ok)
+	}
+	if bus.Stats().Broadcast != 1 {
+		t.Errorf("injected frame not counted as a delivery: %+v", bus.Stats())
+	}
+}
+
+// TestSetLinkUpPartitionsAndHeals: a down port drops frames it hears
+// and frames routed toward it into PartitionDrop, stops contributing
+// deadlines, and resumes forwarding cleanly after the heal.
+func TestSetLinkUpPartitionsAndHeals(t *testing.T) {
+	clock := NewClock()
+	busA, busB, _, gw1, gw2 := threeSegments(t, clock, time.Millisecond)
+	txA := busA.Attach("txA")
+	rxB := busB.Attach("rxB")
+
+	send := func(id uint32) {
+		t.Helper()
+		if _, err := txA.Send(Frame{ID: id, Data: []byte{1}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Healthy baseline: a frame crosses gw1 onto bus B.
+	send(0x100)
+	driveAll(clock, gw1, gw2)
+	if rxB.Pending() != 1 {
+		t.Fatalf("baseline frame did not cross: %d pending", rxB.Pending())
+	}
+	rxB.Receive()
+
+	// Sever gw1's port on bus A: frames heard there die.
+	if err := gw1.SetLinkUp(busA, false); err != nil {
+		t.Fatal(err)
+	}
+	send(0x101)
+	driveAll(clock, gw1, gw2)
+	if rxB.Pending() != 0 {
+		t.Error("frame crossed a severed link")
+	}
+	if gw1.Stats().PartitionDrop == 0 {
+		t.Error("severed port recorded no partition drops")
+	}
+	if d := gw1.NextDeadline(); d != 0 {
+		t.Errorf("severed gateway still advertises a deadline %v", d)
+	}
+
+	// Heal and confirm traffic resumes.
+	if err := gw1.SetLinkUp(busA, true); err != nil {
+		t.Fatal(err)
+	}
+	send(0x102)
+	driveAll(clock, gw1, gw2)
+	if rxB.Pending() != 1 {
+		t.Errorf("healed link did not resume forwarding: %d pending", rxB.Pending())
+	}
+
+	// SetLinkUp on a bus the gateway is not ported to is an error.
+	stranger := NewBus(PrototypeRates)
+	if err := gw1.SetLinkUp(stranger, false); err == nil {
+		t.Error("SetLinkUp accepted a foreign bus")
+	}
+	if err := gw1.SetLinkUp(nil, false); err == nil {
+		t.Error("SetLinkUp accepted a nil bus")
+	}
+}
+
+// TestSetLinkUpDropsRoutedFrames: a frame arriving on a healthy port
+// but routed toward a severed one dies at the severed port's emit
+// side, also counted in PartitionDrop.
+func TestSetLinkUpDropsRoutedFrames(t *testing.T) {
+	clock := NewClock()
+	busA, busB, _, gw1, _ := threeSegments(t, clock, time.Millisecond)
+	txB := busB.Attach("txB")
+	rxA := busA.Attach("rxA")
+
+	if err := gw1.SetLinkUp(busA, false); err != nil {
+		t.Fatal(err)
+	}
+	// Responder traffic B→A must route through gw1's (severed) A port.
+	if _, err := txB.Send(Frame{ID: 0x200, Data: []byte{1}}); err != nil {
+		t.Fatal(err)
+	}
+	driveAll(clock, gw1)
+	if rxA.Pending() != 0 {
+		t.Error("frame emitted from a severed port")
+	}
+	if gw1.Stats().PartitionDrop == 0 {
+		t.Error("emit-side partition drop not counted")
+	}
+}

@@ -71,6 +71,9 @@ type NetCarrier struct {
 	SessionID uint16
 }
 
+// Exchange runs one full handshake attempt between the engines over
+// the fabric, serialized under the world's conversation lock so
+// parallel EstablishAll calls share the single-goroutine pump safely.
 func (c *NetCarrier) Exchange(init *core.Initiator, resp *core.Responder) error {
 	// The world's endpoints are unsynchronized by design (one driving
 	// goroutine = reproducibility); holding the conversation lock for

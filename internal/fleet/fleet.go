@@ -73,6 +73,7 @@ type Manager struct {
 	records    atomic.Uint64
 	hsRetries  atomic.Uint64
 	hsFailures atomic.Uint64
+	hsWorst    atomic.Uint64
 }
 
 // RetryPolicy caps handshake attempts over an unreliable carrier.
@@ -94,6 +95,13 @@ type Stats struct {
 	// Retry-policy counters (zero under the lossless default carrier).
 	HandshakeRetries int // fresh attempts after a failed one
 	FailedAttempts   int // attempts that died on the wire or aborted
+
+	// WorstAttempts is the largest number of attempts any single
+	// handshake needed to succeed (1 on a clean fabric; 0 before the
+	// first handshake). Attack scenarios read it as "how hard did the
+	// adversary make the unluckiest peer work", which aggregate retry
+	// totals wash out.
+	WorstAttempts int
 
 	// KeyCache reports the local device's per-peer key cache: after
 	// the first handshake with a peer, its certificate extraction and
@@ -343,6 +351,7 @@ func (m *Manager) Stats() Stats {
 		Records:          int(m.records.Load()),
 		HandshakeRetries: int(m.hsRetries.Load()),
 		FailedAttempts:   int(m.hsFailures.Load()),
+		WorstAttempts:    int(m.hsWorst.Load()),
 		KeyCache:         m.self.KeyCache().Stats(),
 		SharedTables:     core.SharedTables().Stats(),
 	}
@@ -377,12 +386,25 @@ func (m *Manager) handshake(peer *core.Party) ([]byte, error) {
 		}
 		key, err := m.attempt(peer, carrier, attempt)
 		if err == nil {
+			m.noteWorst(uint64(attempt + 1))
 			return key, nil
 		}
 		m.hsFailures.Add(1)
 		lastErr = err
 	}
+	m.noteWorst(uint64(attempts))
 	return nil, fmt.Errorf("fleet: handshake failed after %d attempts: %w", attempts, lastErr)
+}
+
+// noteWorst raises the worst-attempts watermark to n (CAS max, safe
+// under parallel EstablishAll waves).
+func (m *Manager) noteWorst(n uint64) {
+	for {
+		cur := m.hsWorst.Load()
+		if n <= cur || m.hsWorst.CompareAndSwap(cur, n) {
+			return
+		}
+	}
 }
 
 // carrierFor resolves the peer's carrier, defaulting to the lossless

@@ -1,0 +1,66 @@
+package fleet
+
+import (
+	"testing"
+
+	"repro/internal/canbus"
+	"repro/internal/core"
+	"repro/internal/ec"
+	"repro/internal/session"
+)
+
+// TestWorstAttemptsWatermark: Stats.WorstAttempts tracks the attempts
+// the unluckiest handshake needed — 1 on a clean fabric, the full
+// budget after exhaustion, and it never decreases when later
+// handshakes go smoothly.
+func TestWorstAttemptsWatermark(t *testing.T) {
+	// Clean fabric: every handshake lands on the first attempt.
+	runChaos(t, 7, 3, 0, 0, 3, 1, canbus.EgressPolicy{})
+
+	net, err := core.NewNetwork(ec.P256(), newDetRand(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	self, _ := net.Provision("gw")
+	reachable, _ := net.Provision("ecu-ok")
+	unreachable, _ := net.Provision("ecu-dead")
+
+	// One peer behind a clean fabric, one behind a black hole.
+	clean := buildChaos(t, 21, []*core.Party{reachable}, 0, 0, canbus.EgressPolicy{})
+	hole := buildChaos(t, 22, []*core.Party{unreachable}, 1.0, 0, canbus.EgressPolicy{})
+
+	m, err := NewManager(self, core.OptNone, session.DefaultPolicy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetRetryPolicy(RetryPolicy{MaxAttempts: 3})
+	m.SetCarrier(func(p *core.Party) (Carrier, error) {
+		if p.ID == reachable.ID {
+			return clean.carriers[p.ID], nil
+		}
+		return hole.carriers[p.ID], nil
+	})
+
+	if err := m.Connect(reachable); err != nil {
+		t.Fatal(err)
+	}
+	if w := m.Stats().WorstAttempts; w != 1 {
+		t.Errorf("clean handshake watermark = %d, want 1", w)
+	}
+
+	if err := m.Connect(unreachable); err == nil {
+		t.Fatal("handshake succeeded across 100% loss")
+	}
+	if w := m.Stats().WorstAttempts; w != 3 {
+		t.Errorf("exhausted handshake watermark = %d, want the full budget 3", w)
+	}
+
+	// A later clean handshake must not lower the watermark.
+	m.Disconnect(reachable.ID)
+	if err := m.Connect(reachable); err != nil {
+		t.Fatal(err)
+	}
+	if w := m.Stats().WorstAttempts; w != 3 {
+		t.Errorf("watermark regressed to %d after a clean handshake", w)
+	}
+}

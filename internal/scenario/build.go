@@ -123,6 +123,7 @@ func (fab *fabric) counters(pt *Point) {
 		st := gw.Stats()
 		pt.GatewayForwarded += st.Forwarded
 		pt.GatewayEgressDropped += st.EgressDropped
+		pt.GatewayPartitionDrops += st.PartitionDrop
 	}
 	for _, eps := range [][]*transport.Endpoint{fab.locals, fab.remotes} {
 		for _, e := range eps {

@@ -19,7 +19,13 @@ import (
 // v3: Point gained error — a point that fails to provision or build
 // its fabric is recorded in place (index-aligned, no measurements)
 // instead of aborting the whole sweep.
-const SchemaVersion = 3
+//
+// v4: the adversarial workload layer. LatencyStats gained p95_us;
+// Point gained worst_attempts, gateway_partition_drops, attacks (per-
+// adversary accounting, attack workloads only) and phases (the
+// day-in-the-life composite's per-phase times). ValidateJSON gates
+// accepted_replays to zero on every attack point.
+const SchemaVersion = 4
 
 // Result is one scenario's complete measurement output.
 type Result struct {
@@ -38,6 +44,7 @@ type Result struct {
 type LatencyStats struct {
 	MeanUS float64 `json:"mean_us"`
 	P50US  float64 `json:"p50_us"`
+	P95US  float64 `json:"p95_us"`
 	MinUS  float64 `json:"min_us"`
 	MaxUS  float64 `json:"max_us"`
 }
@@ -87,14 +94,25 @@ type Point struct {
 	Latency *LatencyStats `json:"latency,omitempty"`
 	Churn   *ChurnStats   `json:"churn,omitempty"`
 
+	// Attacks is the per-adversary accounting (attack workloads only,
+	// config order — deterministic, so byte-comparable across runs).
+	Attacks []AttackAccount `json:"attacks,omitempty"`
+	// Phases times the day-in-the-life composite's phases in order
+	// (bringup, steady, churn, attack).
+	Phases []PhaseTime `json:"phases,omitempty"`
+
 	// WorkloadTimeUS is the simulated time the workload consumed at
 	// this point (total bring-up time for bringup/churn, summed
 	// handshake time for latency).
 	WorkloadTimeUS float64 `json:"workload_time_us"`
 
 	// Recovery accounting (fleet + transport aggregates).
+	// WorstAttempts is the attempt count of the unluckiest successful
+	// (or exhausted) handshake — the adversary's per-victim impact
+	// that aggregate retry totals wash out.
 	Retries        int `json:"retries"`
 	FailedAttempts int `json:"failed_attempts"`
+	WorstAttempts  int `json:"worst_attempts"`
 	Retransmits    int `json:"retransmits"`
 	MessageResends int `json:"message_resends"`
 	IntegrityDrops int `json:"integrity_drops"`
@@ -108,6 +126,9 @@ type Point struct {
 	RxOverflow           int `json:"rx_overflow"`
 	GatewayForwarded     int `json:"gateway_forwarded"`
 	GatewayEgressDropped int `json:"gateway_egress_dropped"`
+	// GatewayPartitionDrops counts frames lost at severed gateway
+	// ports (zero outside partition attacks).
+	GatewayPartitionDrops int `json:"gateway_partition_drops"`
 
 	SimTimeUS float64 `json:"sim_time_us"`
 
@@ -154,10 +175,21 @@ func latencyStats(samples []time.Duration) *LatencyStats {
 	for _, d := range sorted {
 		sum += d
 	}
+	p95 := (len(sorted) * 95) / 100
+	if p95 >= len(sorted) {
+		p95 = len(sorted) - 1
+	}
 	return &LatencyStats{
 		MeanUS: us(sum) / float64(len(sorted)),
 		P50US:  us(sorted[len(sorted)/2]),
+		P95US:  us(sorted[p95]),
 		MinUS:  us(sorted[0]),
 		MaxUS:  us(sorted[len(sorted)-1]),
 	}
+}
+
+// PhaseTime is one timed phase of a composite workload.
+type PhaseTime struct {
+	Phase  string  `json:"phase"`
+	TimeUS float64 `json:"time_us"`
 }

@@ -264,21 +264,96 @@ func runPoint(s Scenario, v float64, axis Axis, tr *tracer) (Point, error) {
 	pt := Point{Axis: axis, Value: v}
 	switch s.Workload {
 	case WorkloadLatency:
-		var samples []time.Duration
 		start := fab.now()
-		for _, p := range peers {
-			t0 := fab.now()
-			if err := m.Connect(p); err != nil {
-				pt.Errors++
-				tr.printf("handshake peer=%s FAILED\n", p.ID)
-				continue
-			}
-			dt := fab.now() - t0
-			samples = append(samples, dt)
-			tr.printf("handshake peer=%s t=%dns\n", p.ID, dt.Nanoseconds())
+		samples := serialHandshakes(m, peers, fab, &pt, tr)
+		pt.WorkloadTimeUS = us(fab.now() - start)
+		pt.Latency = latencyStats(samples)
+
+	case WorkloadAttack:
+		advs, err := buildAdversaries(s, v, fab, peers)
+		if err != nil {
+			return Point{}, err
+		}
+		start := fab.now()
+		for _, adv := range advs {
+			adv.Arm(start)
+		}
+		samples := serialHandshakes(m, peers, fab, &pt, tr)
+		fab.world.Run()
+		for _, adv := range advs {
+			adv.Disarm()
+		}
+		if err := executeAdversaries(advs, tr); err != nil {
+			return Point{}, err
 		}
 		pt.WorkloadTimeUS = us(fab.now() - start)
 		pt.Latency = latencyStats(samples)
+		pt.Attacks = attackAccounts(advs, tr)
+
+	case WorkloadDayInLife:
+		advs, err := buildAdversaries(s, v, fab, peers)
+		if err != nil {
+			return Point{}, err
+		}
+		start := fab.now()
+		phase := func(name string, t0 time.Duration) {
+			dt := fab.now() - t0
+			pt.Phases = append(pt.Phases, PhaseTime{Phase: name, TimeUS: us(dt)})
+			tr.printf("phase %s t=%dns\n", name, dt.Nanoseconds())
+		}
+
+		t0 := fab.now()
+		for _, err := range m.EstablishAll(peers, 1) {
+			if err != nil {
+				pt.Errors++
+			}
+		}
+		phase("bringup", t0)
+
+		// Steady traffic: one full rekey round (Connect always runs a
+		// fresh handshake, modelling policy-driven rekeys in service).
+		t0 = fab.now()
+		for _, p := range peers {
+			if err := m.Connect(p); err != nil {
+				pt.Errors++
+			}
+		}
+		phase("steady", t0)
+
+		// One churn round: the even-indexed half leaves and rejoins.
+		t0 = fab.now()
+		var half []*core.Party
+		for i := 0; i < len(peers); i += 2 {
+			half = append(half, peers[i])
+		}
+		for _, p := range half {
+			m.Disconnect(p.ID)
+		}
+		for _, err := range m.EstablishAll(half, 1) {
+			if err != nil {
+				pt.Errors++
+			}
+		}
+		phase("churn", t0)
+
+		// The attack burst: adversaries armed for one rekey round.
+		t0 = fab.now()
+		for _, adv := range advs {
+			adv.Arm(t0)
+		}
+		samples := serialHandshakes(m, peers, fab, &pt, tr)
+		fab.world.Run()
+		for _, adv := range advs {
+			adv.Disarm()
+		}
+		if err := executeAdversaries(advs, tr); err != nil {
+			return Point{}, err
+		}
+		phase("attack", t0)
+
+		pt.WorkloadTimeUS = us(fab.now() - start)
+		pt.Latency = latencyStats(samples)
+		pt.Attacks = attackAccounts(advs, tr)
 
 	case WorkloadBringup:
 		start := fab.now()
@@ -336,6 +411,7 @@ func runPoint(s Scenario, v float64, axis Axis, tr *tracer) (Point, error) {
 	pt.Handshakes = st.Handshakes
 	pt.Retries = st.HandshakeRetries
 	pt.FailedAttempts = st.FailedAttempts
+	pt.WorstAttempts = st.WorstAttempts
 	fab.counters(&pt)
 
 	for _, sa := range pt.Steps {
@@ -347,4 +423,82 @@ func runPoint(s Scenario, v float64, axis Axis, tr *tracer) (Point, error) {
 		pt.IntegrityDrops, pt.ProtocolDrops, pt.BusDropped, pt.BusCorrupted, pt.BusDuplicated,
 		pt.RxOverflow, pt.GatewayForwarded, pt.GatewayEgressDropped, fab.now().Nanoseconds())
 	return pt, nil
+}
+
+// serialHandshakes runs one fresh handshake per peer, in peer order,
+// recording each success's simulated latency. Shared by the latency
+// workload and the attack workloads (where the samples become the
+// victim-latency percentiles).
+func serialHandshakes(m *fleet.Manager, peers []*core.Party, fab *fabric, pt *Point, tr *tracer) []time.Duration {
+	var samples []time.Duration
+	for _, p := range peers {
+		t0 := fab.now()
+		if err := m.Connect(p); err != nil {
+			pt.Errors++
+			tr.printf("handshake peer=%s FAILED\n", p.ID)
+			continue
+		}
+		dt := fab.now() - t0
+		samples = append(samples, dt)
+		tr.printf("handshake peer=%s t=%dns\n", p.ID, dt.Nanoseconds())
+	}
+	return samples
+}
+
+// buildAdversaries constructs and attaches the point's adversaries on
+// its private fabric, registering each with the world pump. Config
+// order is build, pump and accounting order — all deterministic.
+func buildAdversaries(s Scenario, v float64, fab *fabric, peers []*core.Party) ([]Adversary, error) {
+	cfgs := s.adversariesAt(v)
+	sur := &Surface{
+		World:    fab.world,
+		Clock:    fab.world.Clock,
+		Buses:    fab.buses,
+		Gateways: fab.gateways,
+		Peers:    peers,
+		Remotes:  fab.remotes,
+		Seed:     s.Seed,
+	}
+	advs := make([]Adversary, 0, len(cfgs))
+	for i, cfg := range cfgs {
+		adv, err := newAdversary(cfg, s.Seed, i)
+		if err != nil {
+			return nil, err
+		}
+		if err := adv.Attach(sur); err != nil {
+			return nil, err
+		}
+		fab.world.AddAgent(adv)
+		advs = append(advs, adv)
+	}
+	return advs, nil
+}
+
+// executeAdversaries runs the deferred attack phases (the replay
+// attacker's re-injection) after the workload, in config order.
+func executeAdversaries(advs []Adversary, tr *tracer) error {
+	for _, adv := range advs {
+		if ex, ok := adv.(executor); ok {
+			if err := ex.Execute(tr); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// attackAccounts collects the per-adversary accounting and writes the
+// attack trace lines.
+func attackAccounts(advs []Adversary, tr *tracer) []AttackAccount {
+	out := make([]AttackAccount, 0, len(advs))
+	for _, adv := range advs {
+		acc := adv.Account()
+		out = append(out, acc)
+		tr.printf("attack kind=%s segment=%d intensity=%g injected=%d forged_fc=%d forged_cf=%d recorded=%d replayed=%d rejected_auth=%d rejected_protocol=%d accepted=%d partitions=%d heals=%d partition_drops=%d\n",
+			acc.Kind, acc.Segment, acc.Intensity, acc.InjectedFrames,
+			acc.ForgedFlowControls, acc.ForgedConsecutives,
+			acc.RecordedSessions, acc.ReplayedSessions, acc.RejectedAuth, acc.RejectedProtocol, acc.AcceptedReplays,
+			acc.Partitions, acc.Heals, acc.PartitionDrops)
+	}
+	return out
 }

@@ -38,15 +38,39 @@ const (
 	// re-establishes half of it, modelling vehicles leaving and
 	// rejoining a group.
 	WorkloadChurn Workload = "churn"
+	// WorkloadAttack runs the latency workload's serial handshake
+	// loop with the scenario's adversaries armed, then executes any
+	// deferred attack phases (the replay attacker re-injects its
+	// recordings). Victim-handshake latency percentiles plus
+	// per-attack accounting are the measurements. Requires at least
+	// one adversary and Parallelism 1 (attack timing is keyed to the
+	// shared simulated clock, so conversation interleaving inside a
+	// point would change what the adversary observes).
+	WorkloadAttack Workload = "attack"
+	// WorkloadDayInLife is the composite duty cycle: fleet bring-up,
+	// one steady-traffic rekey round, one churn round, then a single
+	// attack burst (handshake round with adversaries armed) — each
+	// phase timed separately. Same adversary and parallelism rules as
+	// WorkloadAttack.
+	WorkloadDayInLife Workload = "day-in-the-life"
 )
 
 // Axis names the impairment rate a sweep varies.
 type Axis string
 
 const (
-	AxisDrop      Axis = "drop"
-	AxisCorrupt   Axis = "corrupt"
+	// AxisDrop sweeps the per-frame drop probability.
+	AxisDrop Axis = "drop"
+	// AxisCorrupt sweeps the per-frame corruption probability.
+	AxisCorrupt Axis = "corrupt"
+	// AxisDuplicate sweeps the per-frame duplication probability.
 	AxisDuplicate Axis = "duplicate"
+	// AxisAttack sweeps adversary intensity instead of an impairment
+	// rate: every configured adversary's Intensity is overridden by
+	// the sweep value (babble rate in frames/s, inject probability,
+	// partition window in seconds, replay session cap). Values are
+	// not confined to [0,1] unless an inject adversary is configured.
+	AxisAttack Axis = "attack"
 )
 
 // Profile is the per-segment impairment profile applied to every bus
@@ -101,6 +125,13 @@ type Scenario struct {
 	// ChurnRounds is the number of drop/re-establish rounds of the
 	// churn workload (default 3).
 	ChurnRounds int `json:"churn_rounds,omitempty"`
+
+	// Adversaries arms the attack workloads (and only those: Validate
+	// rejects adversaries on benign workloads and attack workloads
+	// without adversaries). Each runs on the point's private fabric
+	// with its own detrand stream, so the whole attack is
+	// schedule-invariant across sweep workers.
+	Adversaries []AdversaryConfig `json:"adversaries,omitempty"`
 }
 
 // withDefaults fills unset knobs.
@@ -139,12 +170,12 @@ func (s Scenario) Validate() error {
 		return fmt.Errorf("scenario: %d peers exceed the CAN ID block", s.Peers)
 	}
 	switch s.Workload {
-	case WorkloadLatency, WorkloadBringup, WorkloadChurn:
+	case WorkloadLatency, WorkloadBringup, WorkloadChurn, WorkloadAttack, WorkloadDayInLife:
 	default:
 		return fmt.Errorf("scenario: unknown workload %q", s.Workload)
 	}
 	switch s.SweepAxis {
-	case "", AxisDrop, AxisCorrupt, AxisDuplicate:
+	case "", AxisDrop, AxisCorrupt, AxisDuplicate, AxisAttack:
 	default:
 		return fmt.Errorf("scenario: unknown sweep axis %q", s.SweepAxis)
 	}
@@ -157,9 +188,21 @@ func (s Scenario) Validate() error {
 		}
 	}
 	for _, p := range s.SweepPoints {
+		if s.SweepAxis == AxisAttack {
+			// Attack intensities are kind-scaled (frames/s, seconds,
+			// session counts), not rates; only the inject probability
+			// is a rate, checked below.
+			if p < 0 {
+				return fmt.Errorf("scenario: negative attack sweep point %v", p)
+			}
+			continue
+		}
 		if p < 0 || p > 1 {
 			return fmt.Errorf("scenario: sweep point %v out of [0,1]", p)
 		}
+	}
+	if err := s.validateAdversaries(); err != nil {
+		return err
 	}
 	if s.Egress.Rate < 0 || s.Egress.Queue < 0 {
 		return errors.New("scenario: negative egress policy")
@@ -189,6 +232,70 @@ func (s Scenario) Validate() error {
 	return nil
 }
 
+// attackWorkload reports whether the workload arms adversaries.
+func (s Scenario) attackWorkload() bool {
+	return s.Workload == WorkloadAttack || s.Workload == WorkloadDayInLife
+}
+
+// validateAdversaries enforces the adversarial-workload contract:
+// attack workloads and adversaries come together or not at all,
+// attack points run at Parallelism 1 (adversary decisions are keyed
+// to the shared simulated clock, so conversation interleaving inside
+// a point would change what the attacker observes — sweep-point
+// workers stay free, each point's fabric is private), and every
+// config resolves to a real target on the topology.
+func (s Scenario) validateAdversaries() error {
+	if s.attackWorkload() && len(s.Adversaries) == 0 {
+		return fmt.Errorf("scenario: workload %q needs at least one adversary", s.Workload)
+	}
+	if !s.attackWorkload() && len(s.Adversaries) > 0 {
+		return fmt.Errorf("scenario: adversaries configured on benign workload %q", s.Workload)
+	}
+	if s.SweepAxis == AxisAttack && len(s.Adversaries) == 0 {
+		return errors.New("scenario: attack sweep axis without adversaries")
+	}
+	if len(s.Adversaries) > 0 && s.Parallelism > 1 {
+		return errors.New("scenario: adversaries require parallelism 1 (attack timing is keyed to the shared simulated clock, so conversation interleaving inside a point changes what the adversary observes)")
+	}
+	for i, cfg := range s.Adversaries {
+		switch cfg.Kind {
+		case AdversaryReplay, AdversaryInject, AdversaryBabble, AdversaryPartition:
+		default:
+			return fmt.Errorf("scenario: adversary %d: unknown kind %q", i, cfg.Kind)
+		}
+		if cfg.Segment >= s.Segments {
+			return fmt.Errorf("scenario: adversary %d: segment %d outside the %d-segment topology", i, cfg.Segment, s.Segments)
+		}
+		if cfg.Intensity < 0 {
+			return fmt.Errorf("scenario: adversary %d: negative intensity", i)
+		}
+		if cfg.Start < 0 {
+			return fmt.Errorf("scenario: adversary %d: negative start", i)
+		}
+		if cfg.Kind == AdversaryInject {
+			if cfg.Intensity > 1 {
+				return fmt.Errorf("scenario: adversary %d: inject probability %v out of [0,1]", i, cfg.Intensity)
+			}
+			if s.SweepAxis == AxisAttack {
+				for _, p := range s.SweepPoints {
+					if p > 1 {
+						return fmt.Errorf("scenario: attack sweep point %v exceeds the inject probability range [0,1]", p)
+					}
+				}
+			}
+		}
+		if cfg.Kind == AdversaryPartition {
+			if s.Segments < 2 {
+				return fmt.Errorf("scenario: adversary %d: partition needs at least 2 segments", i)
+			}
+			if seg := resolveSegment(cfg, s.Segments); seg < 1 {
+				return fmt.Errorf("scenario: adversary %d: partition segment %d has no upstream gateway link", i, seg)
+			}
+		}
+	}
+	return nil
+}
+
 // points returns the sweep values to measure, or the base profile's
 // own axis value for an empty sweep.
 func (s Scenario) points() []float64 {
@@ -205,6 +312,11 @@ func (s Scenario) axisValue(p Profile) float64 {
 		return p.Corrupt
 	case AxisDuplicate:
 		return p.Duplicate
+	case AxisAttack:
+		if len(s.Adversaries) > 0 {
+			return s.Adversaries[0].Intensity
+		}
+		return 0
 	default:
 		return p.Drop
 	}
@@ -224,4 +336,20 @@ func (s Scenario) profileAt(v float64) Profile {
 		}
 	}
 	return p
+}
+
+// adversariesAt returns the adversary configs for one sweep point: a
+// copy of the declared configs, with every Intensity overridden by
+// the sweep value when the attack axis is being swept.
+func (s Scenario) adversariesAt(v float64) []AdversaryConfig {
+	if len(s.Adversaries) == 0 {
+		return nil
+	}
+	out := append([]AdversaryConfig(nil), s.Adversaries...)
+	if s.SweepAxis == AxisAttack {
+		for i := range out {
+			out[i].Intensity = v
+		}
+	}
+	return out
 }

@@ -1,0 +1,86 @@
+package security
+
+import (
+	"strings"
+	"testing"
+)
+
+// fullVerdicts builds an assessment matching every Fig. 8 expectation.
+func fullVerdicts() *Assessment {
+	return &Assessment{
+		Protocol: "STS",
+		Verdicts: map[Criterion]Verdict{
+			CritDataExposure:         VerdictFull,
+			CritNodeCapture:          VerdictPartial, // T3 is residual
+			CritKeyDataReuse:         VerdictFull,
+			CritKeyDerivationExploit: VerdictFull,
+			CritAuthProcedure:        VerdictFull,
+		},
+	}
+}
+
+// TestFig8MappingStructure pins the diagram's invariants beyond the
+// counts: unique IDs, every threat linked to a distinct Table III
+// criterion, and the residual marker on exactly node capture.
+func TestFig8MappingStructure(t *testing.T) {
+	seenID := map[string]bool{}
+	seenCrit := map[Criterion]bool{}
+	for _, m := range Fig8Mapping() {
+		if seenID[m.ID] {
+			t.Errorf("duplicate threat ID %s", m.ID)
+		}
+		seenID[m.ID] = true
+		if m.Criterion == "" {
+			t.Errorf("%s has no Table III row", m.ID)
+			continue
+		}
+		if seenCrit[m.Criterion] {
+			t.Errorf("criterion %s mapped twice", m.Criterion)
+		}
+		seenCrit[m.Criterion] = true
+		if m.Residual != (m.ID == "T3") {
+			t.Errorf("%s residual = %v — only T3 (node capture) is partial in the paper", m.ID, m.Residual)
+		}
+	}
+	// Every Table III criterion appears in the diagram.
+	for _, c := range Criteria() {
+		if !seenCrit[c] {
+			t.Errorf("criterion %s missing from Fig. 8", c)
+		}
+	}
+}
+
+// TestFig8ConsistencyErrorPaths covers each way an assessment can
+// contradict the diagram, and the error text naming the threat.
+func TestFig8ConsistencyErrorPaths(t *testing.T) {
+	if err := ConsistentWith(fullVerdicts()); err != nil {
+		t.Fatalf("reference verdicts rejected: %v", err)
+	}
+
+	// A verdict missing entirely.
+	missing := fullVerdicts()
+	delete(missing.Verdicts, CritKeyDataReuse)
+	if err := ConsistentWith(missing); err == nil {
+		t.Error("missing verdict accepted")
+	} else if !strings.Contains(err.Error(), "T4") || !strings.Contains(err.Error(), "no verdict") {
+		t.Errorf("missing-verdict error unhelpful: %v", err)
+	}
+
+	// A non-residual threat downgraded to partial.
+	weak := fullVerdicts()
+	weak.Verdicts[CritDataExposure] = VerdictPartial
+	if err := ConsistentWith(weak); err == nil {
+		t.Error("downgraded T1 accepted")
+	} else if !strings.Contains(err.Error(), "T1") {
+		t.Errorf("downgrade error names the wrong threat: %v", err)
+	}
+
+	// The residual threat claiming weak (not partial) protection.
+	worse := fullVerdicts()
+	worse.Verdicts[CritNodeCapture] = VerdictWeak
+	if err := ConsistentWith(worse); err == nil {
+		t.Error("weak node-capture verdict accepted")
+	} else if !strings.Contains(err.Error(), "T3") {
+		t.Errorf("residual error names the wrong threat: %v", err)
+	}
+}

@@ -7,8 +7,6 @@ import (
 	"fmt"
 
 	"repro/internal/core"
-	"repro/internal/ecdsa"
-	"repro/internal/ecqv"
 	"repro/internal/kdf"
 )
 
@@ -25,17 +23,12 @@ func (an *Analyzer) attackReplay(p core.Protocol, s1, s2 *core.Result, a, b *cor
 	case *core.SECDSA:
 		// Replayed Sign_B covers Nonce_B1 ‖ Nonce_A1; session 2's
 		// verifier checks against Nonce_B1 ‖ Nonce_A2.
-		sig, err := ecdsa.DecodeRaw(an.curve, findField(s1, "B1", "Sign"))
-		if err != nil {
-			return false, "replayed signature unparseable"
-		}
-		qB, err := ecqv.ExtractPublicKey(b.Cert, a.CAPub)
-		if err != nil {
-			return false, "peer key extraction failed"
-		}
 		challenge := append(append([]byte{}, findField(s1, "B1", "Nonce")...), findField(s2, "A1", "Nonce")...)
-		pub := &ecdsa.PublicKey{Curve: an.curve, Q: qB}
-		if pub.Verify(challenge, sig) {
+		ok, err := CredentialBindsChallenge(an.curve, b.Cert, a.CAPub, findField(s1, "B1", "Sign"), challenge)
+		if err != nil {
+			return false, err.Error()
+		}
+		if ok {
 			return true, "stale signature accepted against a fresh nonce"
 		}
 		return false, "signature binds the initiator nonce; replay rejected"
@@ -53,18 +46,13 @@ func (an *Analyzer) attackReplay(p core.Protocol, s1, s2 *core.Result, a, b *cor
 		if err != nil {
 			return false, "resp decryption failed"
 		}
-		sig, err := ecdsa.DecodeRaw(an.curve, dsign)
-		if err != nil {
-			return false, "replayed response unparseable"
-		}
-		qB, err := ecqv.ExtractPublicKey(b.Cert, a.CAPub)
-		if err != nil {
-			return false, "peer key extraction failed"
-		}
 		// Session 2 challenge: XG_B (replayed) ‖ XG_A2 (fresh).
 		challenge := append(append([]byte{}, findField(s1, "B1", "XG")...), findField(s2, "A1", "XG")...)
-		pub := &ecdsa.PublicKey{Curve: an.curve, Q: qB}
-		if pub.Verify(challenge, sig) {
+		ok, err := CredentialBindsChallenge(an.curve, b.Cert, a.CAPub, dsign, challenge)
+		if err != nil {
+			return false, err.Error()
+		}
+		if ok {
 			return true, "stale STS response accepted against a fresh ephemeral"
 		}
 		return false, "response binds both ephemerals (and the fresh session key); replay rejected"

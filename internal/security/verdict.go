@@ -1,0 +1,92 @@
+package security
+
+// Shared replay-verdict helpers. The Analyzer's offline replay arms
+// (replay.go) and the scenario engine's live replay adversary ask the
+// same two questions — "does this recorded credential verify against a
+// fresh challenge?" and "did the stack reject the replayed session,
+// and on which layer?" — so both answers live here, exported, instead
+// of being re-derived (and drifting) in two packages. Every function
+// in this file is pure: no randomness, no clocks, no global state, so
+// calling them from inside a deterministic scenario never perturbs a
+// schedule-invariant run.
+
+import (
+	"errors"
+
+	"repro/internal/core"
+	"repro/internal/ec"
+	"repro/internal/ecdsa"
+	"repro/internal/ecqv"
+)
+
+// CredentialBindsChallenge checks a recorded raw ECDSA credential
+// against a challenge under the signer's ECQV-extracted public key.
+// It returns true exactly when a verifier presented with `challenge`
+// would accept `rawSig` — i.e. when a replay of that credential
+// SUCCEEDS. A replay-rejection proof therefore asserts it returns
+// false for every fresh challenge, and true for the original one
+// (proving the recording itself is sound, not garbage that would fail
+// against anything).
+//
+// Errors report unusable inputs (unparseable signature, certificate
+// that fails key extraction); they mean "no verdict", not "rejected".
+func CredentialBindsChallenge(curve *ec.Curve, cert *ecqv.Certificate, caPub ec.Point, rawSig, challenge []byte) (bool, error) {
+	sig, err := ecdsa.DecodeRaw(curve, rawSig)
+	if err != nil {
+		return false, errors.New("security: replayed credential unparseable")
+	}
+	q, err := ecqv.ExtractPublicKey(cert, caPub)
+	if err != nil {
+		return false, errors.New("security: peer key extraction failed")
+	}
+	pub := &ecdsa.PublicKey{Curve: curve, Q: q}
+	return pub.Verify(challenge, sig), nil
+}
+
+// ReplayOutcome classifies what the end of a replayed session means.
+type ReplayOutcome int
+
+const (
+	// ReplayAccepted — the replayed transcript completed a handshake.
+	// A security failure: any attack scenario observing one must fail
+	// its run (schema v4 refuses results with accepted_replays > 0).
+	ReplayAccepted ReplayOutcome = iota
+	// ReplayRejectedAuth — the engine rejected the stale credential
+	// cryptographically (core.ErrHandshakeAuth): the freshness binding
+	// did its job. This is the verdict the paper's Table III row
+	// claims.
+	ReplayRejectedAuth
+	// ReplayRejectedProtocol — the replay died before reaching a
+	// cryptographic check (state-machine desync, transport abort,
+	// truncated transcript). The session is still rejected, but the
+	// rejection proves robustness, not freshness binding, so attack
+	// accounting reports it separately.
+	ReplayRejectedProtocol
+)
+
+// String renders the outcome for traces and JSON accounting.
+func (o ReplayOutcome) String() string {
+	switch o {
+	case ReplayAccepted:
+		return "accepted"
+	case ReplayRejectedAuth:
+		return "rejected-auth"
+	default:
+		return "rejected-protocol"
+	}
+}
+
+// ClassifyReplay maps a replayed session's terminal state to its
+// outcome: completed means the victim's engine reported done (the
+// replay was ACCEPTED, regardless of err), otherwise err picks the
+// rejection layer. Deterministic — same inputs, same verdict — so
+// scenario runs may call it on the hot path.
+func ClassifyReplay(completed bool, err error) ReplayOutcome {
+	if completed {
+		return ReplayAccepted
+	}
+	if errors.Is(err, core.ErrHandshakeAuth) {
+		return ReplayRejectedAuth
+	}
+	return ReplayRejectedProtocol
+}

@@ -1,0 +1,121 @@
+package security
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ec"
+	"repro/internal/ecdsa"
+)
+
+// TestCredentialBindsChallenge proves both directions of the shared
+// verdict helper on real ECQV credentials: a sound recording verifies
+// against its original challenge (the recording is not garbage) and
+// fails against every fresh one (the replay is rejected for the right
+// reason).
+func TestCredentialBindsChallenge(t *testing.T) {
+	curve := ec.P256()
+	net, err := core.NewNetwork(curve, newDetRand(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b, err := net.Pair("alice", "bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// b signs the "session 1" challenge with its ECQV-reconstructed key
+	// — exactly the credential a replay attacker records off the wire.
+	priv, err := ecdsa.NewPrivateKey(curve, b.Priv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	original := []byte("nonce-B1 || nonce-A1")
+	sig, err := priv.Sign(original)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := sig.EncodeRaw(curve)
+
+	ok, err := CredentialBindsChallenge(curve, b.Cert, a.CAPub, raw, original)
+	if err != nil {
+		t.Fatalf("sound recording produced no verdict: %v", err)
+	}
+	if !ok {
+		t.Error("recorded credential does not verify against its own challenge — the recording is garbage")
+	}
+
+	fresh := []byte("nonce-B1 || nonce-A2")
+	ok, err = CredentialBindsChallenge(curve, b.Cert, a.CAPub, raw, fresh)
+	if err != nil {
+		t.Fatalf("fresh challenge produced no verdict: %v", err)
+	}
+	if ok {
+		t.Error("SECURITY: stale credential verified against a fresh challenge")
+	}
+
+	// Wrong signer: a's CA view of b's cert with a signature from a's
+	// own key must not verify either.
+	otherPriv, err := ecdsa.NewPrivateKey(curve, a.Priv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged, err := otherPriv.Sign(original)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err = CredentialBindsChallenge(curve, b.Cert, a.CAPub, forged.EncodeRaw(curve), original)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("SECURITY: signature under the wrong key verified")
+	}
+
+	// Unusable inputs are "no verdict", never "rejected": the error
+	// must be non-nil so callers can't mistake garbage for safety.
+	if _, err := CredentialBindsChallenge(curve, b.Cert, a.CAPub, []byte{1, 2, 3}, original); err == nil {
+		t.Error("truncated signature produced a verdict")
+	}
+}
+
+// TestClassifyReplay pins the outcome mapping the scenario engine's
+// live replay adversary depends on.
+func TestClassifyReplay(t *testing.T) {
+	cases := []struct {
+		completed bool
+		err       error
+		want      ReplayOutcome
+	}{
+		{true, nil, ReplayAccepted},
+		// Completion wins regardless of a stray error: a finished
+		// handshake IS an accepted replay.
+		{true, core.ErrHandshakeAuth, ReplayAccepted},
+		{false, core.ErrHandshakeAuth, ReplayRejectedAuth},
+		{false, fmt.Errorf("wrapped: %w", core.ErrHandshakeAuth), ReplayRejectedAuth},
+		{false, errors.New("transport abort"), ReplayRejectedProtocol},
+		{false, nil, ReplayRejectedProtocol},
+	}
+	for _, tc := range cases {
+		if got := ClassifyReplay(tc.completed, tc.err); got != tc.want {
+			t.Errorf("ClassifyReplay(%v, %v) = %v, want %v", tc.completed, tc.err, got, tc.want)
+		}
+	}
+}
+
+// TestReplayOutcomeString pins the accounting labels that appear in
+// traces and the schema-v4 JSON.
+func TestReplayOutcomeString(t *testing.T) {
+	want := map[ReplayOutcome]string{
+		ReplayAccepted:         "accepted",
+		ReplayRejectedAuth:     "rejected-auth",
+		ReplayRejectedProtocol: "rejected-protocol",
+	}
+	for o, s := range want {
+		if o.String() != s {
+			t.Errorf("%d.String() = %q, want %q", o, o.String(), s)
+		}
+	}
+}

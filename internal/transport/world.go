@@ -29,7 +29,26 @@ type World struct {
 	mu sync.Mutex
 
 	gateways  []*canbus.Gateway
+	agents    []Agent
 	endpoints []*Endpoint
+}
+
+// Agent is a pump participant beyond gateways and endpoints — a
+// scenario adversary, a background traffic source, any actor that
+// reacts to frames or to the simulated clock. The world pumps agents
+// every Run cycle (after gateways, before endpoints — a fixed order,
+// part of the determinism contract) and treats NextDeadline like a
+// protocol timer, so an agent can schedule future actions on the
+// simulated clock and Step will stop there. Pump returns how much
+// work the agent did (frames drained or injected, state flips); it
+// must return 0 when idle or Run never reaches quiescence, and every
+// decision it takes must be a function of observed frame content, the
+// simulated clock and the agent's own seeded state — never of host
+// scheduling — or it breaks the schedule-invariance guarantee of
+// every measurement sharing its world.
+type Agent interface {
+	Pump() int
+	NextDeadline() time.Duration
 }
 
 // Acquire takes the world's conversation lock. Higher-level drivers
@@ -59,6 +78,11 @@ func NewWorld(clock *canbus.Clock) *World {
 // AddGateway registers a gateway with the pump loop.
 func (w *World) AddGateway(g *canbus.Gateway) { w.gateways = append(w.gateways, g) }
 
+// AddAgent registers an agent with the pump loop. Registration order
+// is pump order; callers that register several agents must do so in a
+// deterministic order (scenario builds them from the config slice).
+func (w *World) AddAgent(a Agent) { w.agents = append(w.agents, a) }
+
 func (w *World) addEndpoint(e *Endpoint) { w.endpoints = append(w.endpoints, e) }
 
 // Run pumps gateways and endpoints until the topology is quiescent —
@@ -70,6 +94,9 @@ func (w *World) Run() int {
 		n := 0
 		for _, g := range w.gateways {
 			n += g.Pump()
+		}
+		for _, a := range w.agents {
+			n += a.Pump()
 		}
 		for _, e := range w.endpoints {
 			n += e.Service()
@@ -93,6 +120,11 @@ func (w *World) nextTimer(now time.Duration) time.Duration {
 	}
 	for _, g := range w.gateways {
 		if dl := g.NextDeadline(); dl > now && (min == 0 || dl < min) {
+			min = dl
+		}
+	}
+	for _, a := range w.agents {
+		if dl := a.NextDeadline(); dl > now && (min == 0 || dl < min) {
 			min = dl
 		}
 	}
