@@ -10,7 +10,7 @@ SHELL := /bin/bash
 BENCH_COMPARE ?= BenchmarkScalarMultAblation|BenchmarkFig3_STSOperations|BenchmarkLiveHandshake
 BENCH_COUNT ?= 5
 
-.PHONY: build test race race-parallel test-purebig bench bench-smoke bench-compare bench-batch bench-alloc bench-scenarios scenario-smoke adversarial-smoke parallel-invariance fuzz-smoke fmt fmt-check vet lint doccheck linkcheck cover
+.PHONY: build test race race-parallel test-purebig bench bench-smoke bench-compare bench-batch bench-alloc bench-scenarios scenario-smoke adversarial-smoke parallel-invariance stream-smoke fuzz-smoke fmt fmt-check vet lint doccheck linkcheck cover
 
 build:
 	$(GO) build ./...
@@ -91,7 +91,7 @@ bench-batch:
 # (plus the CLI's serial-reference self-check inside each run) and the
 # two JSON outputs must be byte-identical — the fair-queuing egress
 # scheduler is what makes this combination reproducible at all.
-scenario-smoke: parallel-invariance adversarial-smoke
+scenario-smoke: parallel-invariance adversarial-smoke stream-smoke
 	$(GO) run ./cmd/scenario -name smoke -peers 4 -segments 3 \
 		-sweep drop:0,0.05,0.10 -attempts 10 \
 		-json scenario-smoke.json -csv scenario-smoke.csv
@@ -159,8 +159,35 @@ parallel-invariance:
 	cmp par-inv-shared-w1.json par-inv-shared-w8.json
 	$(GO) run ./cmd/scenario -validate par-inv-w8.json
 
+# The streaming gate: a 160-point heavy-ish sweep runs once streamed
+# at -workers 8 (points flush to the JSON/CSV/trace sinks in order as
+# they complete, O(workers + reorder window) memory) and once
+# materialized at -workers 1, and all three output files must be
+# byte-identical — the streamed-vs-materialized leg of the determinism
+# contract. The reorder-window bound is enforced inside the engine: a
+# streamed run whose completed-point backlog ever exceeds
+# workers + ReorderSlack fails, so this target failing on a clean tree
+# means the memory contract broke. Finishes in seconds: all time is
+# simulated.
+STREAMSMOKE := -peers 3 -segments 2 -seed 42 -corrupt 0.005 \
+	-sweep drop:0..0.05/160
+stream-smoke:
+	$(GO) run ./cmd/scenario -name stream-smoke $(STREAMSMOKE) -workers 8 -stream \
+		-json stream-smoke-s.json -csv stream-smoke-s.csv -trace stream-smoke-s.trace
+	$(GO) run ./cmd/scenario -name stream-smoke $(STREAMSMOKE) -workers 1 \
+		-json stream-smoke-m.json -csv stream-smoke-m.csv -trace stream-smoke-m.trace
+	cmp stream-smoke-s.json stream-smoke-m.json
+	cmp stream-smoke-s.csv stream-smoke-m.csv
+	cmp stream-smoke-s.trace stream-smoke-m.trace
+	$(GO) run ./cmd/scenario -validate stream-smoke-s.json
+
 # Regenerate the committed BENCH_scenarios.json trajectory (the
 # canonical degraded-bus curves; simulated time, host-independent).
+# The last two entries are the streamed heavy-traffic workloads: a
+# 2048-point impairment grid and a 64-peer bring-up, recorded as
+# aggregate stream blocks (points: null — the full point lists are
+# exactly what is too big to commit) with the reorder-depth and heap
+# high-water evidence in wall_clock.
 bench-scenarios:
 	$(GO) run ./cmd/scenario -name latency-vs-loss -peers 8 \
 		-sweep drop:0,0.02,0.04,0.06,0.08,0.10 -bench BENCH_scenarios.json >/dev/null
@@ -186,6 +213,12 @@ bench-scenarios:
 		-bench BENCH_scenarios.json >/dev/null
 	$(GO) run ./cmd/scenario -name day-in-the-life -workload day-in-the-life \
 		-adversary inject,replay -attack-intensity 0.5 -peers 8 -drop 0.01 \
+		-bench BENCH_scenarios.json >/dev/null
+	$(GO) run ./cmd/scenario -name impairment-grid-2k -peers 2 -segments 2 \
+		-corrupt 0.003 -sweep drop:0..0.06/2048 -workers 0 -stream \
+		-bench BENCH_scenarios.json >/dev/null
+	$(GO) run ./cmd/scenario -name bringup-64peer -workload bringup -peers 64 \
+		-segments 3 -parallelism 8 -stream \
 		-bench BENCH_scenarios.json >/dev/null
 
 # Brief fuzzing of the protocol parsers (committed corpora under

@@ -24,6 +24,13 @@
 //	# assert zero accepted replays end-to-end:
 //	scenario -workload attack -adversary replay -json replay.json
 //
+//	# Heavy traffic: a 2048-point impairment grid streamed straight to
+//	# disk — completed points flush in order and are released, so peak
+//	# memory is O(workers + reorder window), not O(points). Output is
+//	# byte-identical to the materialized path:
+//	scenario -peers 2 -sweep drop:0..0.06/2048 -workers 0 -stream \
+//	         -json grid.json -csv grid.csv
+//
 //	# Schema-drift gate (CI): re-validate an emitted file:
 //	scenario -validate curve.json
 package main
@@ -75,7 +82,7 @@ func run(args []string, stdout io.Writer) error {
 		duplicate    = fs.Float64("duplicate", 0, "base frame duplication rate [0,1]")
 		delayRate    = fs.Float64("delay-rate", 0, "base frame delay rate [0,1]")
 		delay        = fs.Duration("delay", 0, "extra latency per delayed frame (with -delay-rate)")
-		sweep        = fs.String("sweep", "", "sweep spec: [axis:]p1,p2,... (axis: drop | corrupt | duplicate | attack)")
+		sweep        = fs.String("sweep", "", "sweep spec: [axis:]p1,p2,... (axis: drop | corrupt | duplicate | attack); a token lo..hi/n expands to n evenly spaced points")
 		adversaries  = fs.String("adversary", "", "comma list of adversaries for the attack workloads: replay | inject | babble | partition")
 		attackInt    = fs.Float64("attack-intensity", 0, "adversary intensity (babble: frames/s; inject: forge probability [0,1]; partition: heal window in seconds; replay: session cap, 0 = all); an attack sweep overrides it per point")
 		attackSeg    = fs.Int("attack-segment", -1, "bus segment the adversaries operate on (-1 = kind default: last segment, babble segment 0)")
@@ -86,6 +93,7 @@ func run(args []string, stdout io.Writer) error {
 		benchPath    = fs.String("bench", "", "append the result to this benchmark trajectory file")
 		validate     = fs.String("validate", "", "validate an emitted JSON file against the schema and exit")
 		checkInv     = fs.Bool("check-invariance", false, "re-run the scenario serially (parallelism 1) and fail unless the results are byte-identical — the schedule-invariance self-check")
+		stream       = fs.Bool("stream", false, "stream each completed point to the JSON/CSV/trace outputs in order instead of materializing the whole result — byte-identical output, O(workers) memory; for the sweeps too big to hold")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -138,12 +146,20 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	opts := scenario.Options{Workers: *workers}
+	if *stream {
+		if *checkInv {
+			return fmt.Errorf("-stream and -check-invariance are mutually exclusive: the self-check compares materialized results (byte-compare a streamed run against a materialized one instead — that is what make stream-smoke gates)")
+		}
+		return runStreamed(s, opts, *jsonPath, *csvPath, *tracePath, *benchPath, stdout)
+	}
+
 	var res *scenario.Result
 	var timing *scenario.Timing
 	if *tracePath != "" {
 		err = writeFile(*tracePath, func(f *os.File) error {
-			res, timing, err = scenario.RunTracedWith(s, f, opts)
-			return err
+			var rerr error
+			res, timing, rerr = scenario.RunTracedWith(s, f, opts)
+			return rerr
 		})
 	} else {
 		res, timing, err = scenario.RunWith(s, opts)
@@ -151,8 +167,7 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "timing: workers=%d wall=%s max_in_flight=%d points=%d\n",
-		timing.Workers, timing.WallClock.Round(time.Millisecond), timing.MaxInFlight, len(res.Points))
+	printTiming(timing, len(res.Points))
 
 	var serialWall time.Duration
 	if *checkInv {
@@ -174,17 +189,115 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 	if *benchPath != "" {
-		if err := appendBench(*benchPath, res, timing, serialWall); err != nil {
+		entry := &benchEntry{Result: res, WallClock: buildWallClock(timing, serialWall, true)}
+		if err := appendBench(*benchPath, entry); err != nil {
 			return err
 		}
 	}
-	if failed := failedPoints(res); failed > 0 {
-		// The sweep survives pathological points by design; say so
-		// loudly without poisoning the structured output on stdout.
-		fmt.Fprintf(os.Stderr, "scenario: %d of %d sweep points failed; each failure is recorded on its point in the result\n",
-			failed, len(res.Points))
-	}
+	warnFailed(failedPoints(res), len(res.Points))
 	return nil
+}
+
+// runStreamed is the -stream execution path: every requested output
+// gets an incremental sink, completed points flush to them in index
+// order as the sweep runs, and nothing materializes — the result never
+// exists in memory as a whole. Output bytes are identical to the
+// materialized path's.
+func runStreamed(s scenario.Scenario, opts scenario.Options, jsonPath, csvPath, tracePath, benchPath string, stdout io.Writer) error {
+	sum := &streamSummary{}
+	sinks := []scenario.PointSink{sum}
+
+	// Output files stay open for the whole run (sinks write them point
+	// by point); close errors on the success path are real errors —
+	// the last buffered bytes live there.
+	var files []*os.File
+	closeAll := func() error {
+		var first error
+		for _, f := range files {
+			if err := f.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		files = nil
+		return first
+	}
+	defer closeAll()
+	open := func(path string) (*os.File, error) {
+		f, err := os.Create(path)
+		if err == nil {
+			files = append(files, f)
+		}
+		return f, err
+	}
+
+	if jsonPath == "" || jsonPath == "-" {
+		sinks = append(sinks, scenario.NewJSONSink(stdout))
+	} else {
+		f, err := open(jsonPath)
+		if err != nil {
+			return err
+		}
+		sinks = append(sinks, scenario.NewJSONSink(f))
+	}
+	if csvPath != "" {
+		f, err := open(csvPath)
+		if err != nil {
+			return err
+		}
+		sinks = append(sinks, scenario.NewCSVSink(f))
+	}
+	if tracePath != "" {
+		f, err := open(tracePath)
+		if err != nil {
+			return err
+		}
+		sinks = append(sinks, scenario.NewTraceSink(f))
+	}
+
+	timing, err := scenario.RunStreamWith(s, sinks, opts)
+	if err != nil {
+		return err
+	}
+	if err := closeAll(); err != nil {
+		return err
+	}
+	printTiming(timing, sum.points)
+
+	if benchPath != "" {
+		// A streamed bench entry records the header and the aggregate
+		// stream block instead of the full point list ("points": null):
+		// the heavy-traffic sweeps exist precisely because their point
+		// lists are too big to commit.
+		entry := &benchEntry{
+			Result:    sum.headerResult(),
+			WallClock: buildWallClock(timing, 0, false),
+			Stream:    sum.block(),
+		}
+		if err := appendBench(benchPath, entry); err != nil {
+			return err
+		}
+	}
+	warnFailed(sum.failed, sum.points)
+	return nil
+}
+
+// printTiming writes the run's wall-clock line to stderr: workers and
+// wall time, plus the streaming engine's memory evidence (peak reorder
+// depth, sampled heap high water) — populated on every run now that
+// the materialized path is a collecting sink over the same engine.
+func printTiming(timing *scenario.Timing, points int) {
+	fmt.Fprintf(os.Stderr, "timing: workers=%d wall=%s max_in_flight=%d points=%d reorder_depth=%d heap_high_water=%.1fMB\n",
+		timing.Workers, timing.WallClock.Round(time.Millisecond), timing.MaxInFlight, points,
+		timing.MaxReorderDepth, float64(timing.HeapHighWater)/(1<<20))
+}
+
+// warnFailed reports surviving point-level failures on stderr without
+// poisoning the structured output on stdout.
+func warnFailed(failed, points int) {
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "scenario: %d of %d sweep points failed; each failure is recorded on its point in the result\n",
+			failed, points)
+	}
 }
 
 // failedPoints counts points that recorded a point-level failure.
@@ -259,7 +372,10 @@ func parseAdversaries(spec string, intensity float64, segment int, start time.Du
 }
 
 // parseSweep decodes "[axis:]p1,p2,...": an optional axis prefix
-// (default drop) and a comma list of rates.
+// (default drop) and a comma list of rates. A token "lo..hi/n"
+// expands to n evenly spaced points from lo to hi inclusive — the
+// heavy-traffic grid syntax ("drop:0..0.06/2048"); ranges and scalars
+// mix freely in one list.
 func parseSweep(spec string) (scenario.Axis, []float64, error) {
 	if spec == "" {
 		return "", nil, nil
@@ -271,13 +387,51 @@ func parseSweep(spec string) (scenario.Axis, []float64, error) {
 	}
 	var points []float64
 	for _, tok := range strings.Split(spec, ",") {
-		v, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+		tok = strings.TrimSpace(tok)
+		if strings.Contains(tok, "..") {
+			pts, err := parseRange(tok)
+			if err != nil {
+				return "", nil, err
+			}
+			points = append(points, pts...)
+			continue
+		}
+		v, err := strconv.ParseFloat(tok, 64)
 		if err != nil {
 			return "", nil, fmt.Errorf("bad sweep point %q: %w", tok, err)
 		}
 		points = append(points, v)
 	}
 	return axis, points, nil
+}
+
+// parseRange expands one "lo..hi/n" sweep token.
+func parseRange(tok string) ([]float64, error) {
+	dots := strings.Index(tok, "..")
+	slash := strings.LastIndexByte(tok, '/')
+	if slash < dots {
+		return nil, fmt.Errorf("bad sweep range %q: want lo..hi/n", tok)
+	}
+	lo, err := strconv.ParseFloat(tok[:dots], 64)
+	if err != nil {
+		return nil, fmt.Errorf("bad sweep range %q: %w", tok, err)
+	}
+	hi, err := strconv.ParseFloat(tok[dots+2:slash], 64)
+	if err != nil {
+		return nil, fmt.Errorf("bad sweep range %q: %w", tok, err)
+	}
+	n, err := strconv.Atoi(tok[slash+1:])
+	if err != nil {
+		return nil, fmt.Errorf("bad sweep range %q: %w", tok, err)
+	}
+	if n < 2 {
+		return nil, fmt.Errorf("bad sweep range %q: need at least 2 points", tok)
+	}
+	pts := make([]float64, n)
+	for i := range pts {
+		pts[i] = lo + (hi-lo)*float64(i)/float64(n-1)
+	}
+	return pts, nil
 }
 
 func writeFile(path string, emit func(*os.File) error) error {
@@ -307,10 +461,13 @@ type benchFile struct {
 // benchEntry is one trajectory entry: the measurement (simulated time,
 // host-independent) plus the wall clock the engine spent producing it
 // (real time, the one host-dependent number — the multi-core speedup
-// evidence).
+// evidence). Streamed heavy-traffic entries carry a stream aggregate
+// block and a null points list instead of the full curve — the point
+// lists those sweeps produce are exactly what is too big to commit.
 type benchEntry struct {
 	*scenario.Result
-	WallClock *wallClock `json:"wall_clock,omitempty"`
+	WallClock *wallClock   `json:"wall_clock,omitempty"`
+	Stream    *streamBlock `json:"stream,omitempty"`
 }
 
 // wallClock records the engine's real execution cost for one entry.
@@ -321,10 +478,18 @@ type wallClock struct {
 	TotalMS float64 `json:"total_ms"`
 	// PointMS is each point's wall-clock time, index-aligned with
 	// points; their sum exceeding total_ms means points overlapped.
-	PointMS []float64 `json:"point_ms"`
+	// Omitted on streamed entries (it is O(points) by definition).
+	PointMS []float64 `json:"point_ms,omitempty"`
 	// MaxInFlight is the peak number of points simulating
 	// concurrently.
 	MaxInFlight int `json:"max_in_flight"`
+	// MaxReorderDepth is the peak number of completed points held by
+	// the ordered emitter — the evidence that memory stayed
+	// O(workers + slack) rather than O(points).
+	MaxReorderDepth int `json:"max_reorder_depth"`
+	// HeapHighWaterBytes is the highest sampled heap allocation during
+	// the run (host- and GC-dependent, like everything in this block).
+	HeapHighWaterBytes uint64 `json:"heap_high_water_bytes"`
 	// SerialMS and SpeedupVsSerial are recorded when the run was
 	// -check-invariance armed: the byte-identical serial reference's
 	// wall clock, and total speedup over it.
@@ -332,10 +497,110 @@ type wallClock struct {
 	SpeedupVsSerial float64 `json:"speedup_vs_serial,omitempty"`
 }
 
-// appendBench adds the result to the trajectory file, replacing a
+// streamBlock is a streamed run's aggregate measurement: simulated-
+// time totals over the whole sweep — host-independent, reproducible
+// from the scenario definition like any curve, just folded instead of
+// listed.
+type streamBlock struct {
+	Points         int     `json:"points"`
+	Failed         int     `json:"failed"`
+	Errors         int     `json:"errors"`
+	Handshakes     int     `json:"handshakes"`
+	Retries        int     `json:"retries"`
+	Retransmits    int     `json:"retransmits"`
+	SimTimeTotalUS float64 `json:"sim_time_total_us"`
+	SimTimeMaxUS   float64 `json:"sim_time_max_us"`
+}
+
+// streamSummary is the CLI's always-on streaming sink: it folds every
+// point into the aggregates the bench trajectory and the stderr
+// diagnostics need, holding O(1) memory.
+type streamSummary struct {
+	header scenario.Header
+	points int
+	failed int
+	block_ streamBlock
+}
+
+// Begin records the scenario header.
+func (s *streamSummary) Begin(h scenario.Header) error {
+	s.header = h
+	return nil
+}
+
+// Point folds one point into the aggregates.
+func (s *streamSummary) Point(i int, pt scenario.Point, _ []byte) error {
+	s.points++
+	if pt.Error != "" {
+		s.failed++
+	}
+	s.block_.Errors += pt.Errors
+	s.block_.Handshakes += pt.Handshakes
+	s.block_.Retries += pt.Retries
+	s.block_.Retransmits += pt.Retransmits
+	s.block_.SimTimeTotalUS += pt.SimTimeUS
+	if pt.SimTimeUS > s.block_.SimTimeMaxUS {
+		s.block_.SimTimeMaxUS = pt.SimTimeUS
+	}
+	return nil
+}
+
+// End is a no-op; the aggregates are read by the caller.
+func (s *streamSummary) End(scenario.Summary) error { return nil }
+
+// headerResult rebuilds the scenario-level Result fields (points nil)
+// for the bench entry.
+func (s *streamSummary) headerResult() *scenario.Result {
+	return &scenario.Result{
+		SchemaVersion: s.header.SchemaVersion,
+		Name:          s.header.Name,
+		Workload:      s.header.Workload,
+		Seed:          s.header.Seed,
+		Peers:         s.header.Peers,
+		Segments:      s.header.Segments,
+		Axis:          s.header.Axis,
+	}
+}
+
+// block returns the folded aggregates with the point counts filled in.
+func (s *streamSummary) block() *streamBlock {
+	b := s.block_
+	b.Points = s.points
+	b.Failed = s.failed
+	return &b
+}
+
+// buildWallClock renders a Timing into the trajectory's wall_clock
+// block; includePoints carries the per-point times (materialized runs
+// only — the list is O(points)).
+func buildWallClock(timing *scenario.Timing, serialWall time.Duration, includePoints bool) *wallClock {
+	if timing == nil {
+		return nil
+	}
+	ms := func(d time.Duration) float64 { return math.Round(float64(d)/float64(time.Millisecond)*1000) / 1000 }
+	wc := &wallClock{
+		Workers:            timing.Workers,
+		TotalMS:            ms(timing.WallClock),
+		MaxInFlight:        timing.MaxInFlight,
+		MaxReorderDepth:    timing.MaxReorderDepth,
+		HeapHighWaterBytes: timing.HeapHighWater,
+	}
+	if includePoints {
+		for _, d := range timing.Points {
+			wc.PointMS = append(wc.PointMS, ms(d))
+		}
+	}
+	if serialWall > 0 && timing.WallClock > 0 {
+		wc.SerialMS = ms(serialWall)
+		wc.SpeedupVsSerial = math.Round(float64(serialWall)/float64(timing.WallClock)*100) / 100
+	}
+	return wc
+}
+
+// appendBench adds the entry to the trajectory file, replacing a
 // previous entry with the same scenario name so re-runs update in
 // place.
-func appendBench(path string, res *scenario.Result, timing *scenario.Timing, serialWall time.Duration) error {
+func appendBench(path string, entry *benchEntry) error {
 	doc := benchFile{
 		Paper: "conf_date_BasicSK23",
 		Title: "Degraded-bus measurement scenarios (cmd/scenario)",
@@ -361,26 +626,9 @@ func appendBench(path string, res *scenario.Result, timing *scenario.Timing, ser
 	doc.Date = time.Now().UTC().Format("2006-01-02")
 	kept := doc.Scenarios[:0]
 	for _, r := range doc.Scenarios {
-		if r.Name != res.Name {
+		if r.Name != entry.Name {
 			kept = append(kept, r)
 		}
-	}
-	entry := &benchEntry{Result: res}
-	if timing != nil {
-		ms := func(d time.Duration) float64 { return math.Round(float64(d)/float64(time.Millisecond)*1000) / 1000 }
-		wc := &wallClock{
-			Workers:     timing.Workers,
-			TotalMS:     ms(timing.WallClock),
-			MaxInFlight: timing.MaxInFlight,
-		}
-		for _, d := range timing.Points {
-			wc.PointMS = append(wc.PointMS, ms(d))
-		}
-		if serialWall > 0 && timing.WallClock > 0 {
-			wc.SerialMS = ms(serialWall)
-			wc.SpeedupVsSerial = math.Round(float64(serialWall)/float64(timing.WallClock)*100) / 100
-		}
-		entry.WallClock = wc
 	}
 	doc.Scenarios = append(kept, entry)
 	return writeFile(path, func(f *os.File) error {

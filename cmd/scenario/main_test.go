@@ -387,3 +387,148 @@ func TestParseAdversaries(t *testing.T) {
 		}
 	}
 }
+
+// TestCLIStream drives the -stream path end-to-end and byte-compares
+// every output against a materialized run of the same scenario — the
+// in-process version of the make stream-smoke gate.
+func TestCLIStream(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{
+		"-name", "stream-test", "-peers", "2", "-segments", "2", "-seed", "9",
+		"-corrupt", "0.005", "-sweep", "drop:0..0.05/12", "-workers", "8",
+	}
+	sArgs := append(append([]string{}, args...),
+		"-stream",
+		"-json", filepath.Join(dir, "s.json"), "-csv", filepath.Join(dir, "s.csv"), "-trace", filepath.Join(dir, "s.trace"))
+	mArgs := append(append([]string{}, args...),
+		"-workers", "1", // later flag wins: materialized reference runs serial
+		"-json", filepath.Join(dir, "m.json"), "-csv", filepath.Join(dir, "m.csv"), "-trace", filepath.Join(dir, "m.trace"))
+
+	var out bytes.Buffer
+	if err := run(sArgs, &out); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(mArgs, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, ext := range []string{"json", "csv", "trace"} {
+		s, err := os.ReadFile(filepath.Join(dir, "s."+ext))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := os.ReadFile(filepath.Join(dir, "m."+ext))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(s, m) {
+			t.Errorf("streamed %s diverged from materialized (%d vs %d bytes)", ext, len(s), len(m))
+		}
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "s.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := scenario.ValidateJSON(data)
+	if err != nil {
+		t.Fatalf("streamed JSON fails the schema gate: %v", err)
+	}
+	if len(res.Points) != 12 {
+		t.Fatalf("range sweep produced %d points, want 12", len(res.Points))
+	}
+}
+
+// TestCLIStreamToStdout: the default -json destination (stdout) works
+// streamed too, and the document validates.
+func TestCLIStreamToStdout(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{
+		"-name", "stream-stdout", "-peers", "2", "-segments", "1", "-seed", "5",
+		"-sweep", "drop:0,0.02", "-stream",
+	}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := scenario.ValidateJSON(out.Bytes()); err != nil {
+		t.Fatalf("streamed stdout JSON fails the schema gate: %v", err)
+	}
+}
+
+// TestCLIStreamBench: a streamed bench entry records the header, the
+// aggregate stream block and a wall_clock with the memory evidence —
+// and no per-point list in either (points null, point_ms omitted).
+func TestCLIStreamBench(t *testing.T) {
+	dir := t.TempDir()
+	benchPath := filepath.Join(dir, "bench.json")
+	var out bytes.Buffer
+	if err := run([]string{
+		"-name", "stream-bench", "-peers", "2", "-segments", "2", "-seed", "3",
+		"-sweep", "drop:0..0.04/16", "-workers", "4", "-stream",
+		"-json", filepath.Join(dir, "out.json"), "-bench", benchPath,
+	}, &out); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(benchPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc benchFile
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Scenarios) != 1 {
+		t.Fatalf("bench trajectory has %d entries", len(doc.Scenarios))
+	}
+	e := doc.Scenarios[0]
+	if e.Name != "stream-bench" || e.Points != nil {
+		t.Fatalf("streamed entry must carry the header and a null point list: %+v", e.Result)
+	}
+	if e.Stream == nil || e.Stream.Points != 16 || e.Stream.Handshakes == 0 || e.Stream.SimTimeTotalUS <= 0 {
+		t.Fatalf("stream block implausible: %+v", e.Stream)
+	}
+	wc := e.WallClock
+	if wc == nil || wc.Workers != 4 || wc.PointMS != nil {
+		t.Fatalf("streamed wall_clock must omit point_ms: %+v", wc)
+	}
+	if wc.MaxReorderDepth < 1 || wc.MaxReorderDepth > 4+scenario.ReorderSlack {
+		t.Fatalf("reorder depth %d outside (0, workers+slack]", wc.MaxReorderDepth)
+	}
+	if wc.HeapHighWaterBytes == 0 {
+		t.Fatal("no heap high-water evidence recorded")
+	}
+}
+
+// TestCLIStreamRejectsCheckInvariance: the self-check needs the
+// materialized result, so the combination is refused loudly.
+func TestCLIStreamRejectsCheckInvariance(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-peers", "2", "-stream", "-check-invariance"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Fatalf("-stream -check-invariance accepted: %v", err)
+	}
+}
+
+// TestParseSweepRange pins the lo..hi/n expansion.
+func TestParseSweepRange(t *testing.T) {
+	axis, pts, err := parseSweep("drop:0..0.06/4")
+	if err != nil || axis != scenario.AxisDrop {
+		t.Fatalf("range spec rejected: %v %v", axis, err)
+	}
+	want := []float64{0, 0.02, 0.04, 0.06}
+	if len(pts) != len(want) {
+		t.Fatalf("got %v, want %v", pts, want)
+	}
+	for i := range want {
+		if diff := pts[i] - want[i]; diff > 1e-12 || diff < -1e-12 {
+			t.Fatalf("point %d: got %v, want %v", i, pts[i], want[i])
+		}
+	}
+	// Ranges and scalars mix; the endpoints land exactly.
+	_, pts, err = parseSweep("corrupt:0.001,0..1/2,0.5")
+	if err != nil || len(pts) != 4 || pts[1] != 0 || pts[2] != 1 {
+		t.Fatalf("mixed spec: %v %v", pts, err)
+	}
+	for _, bad := range []string{"drop:0..0.06", "drop:0..0.06/1", "drop:0..0.06/x", "drop:..1/4", "drop:0../4"} {
+		if _, _, err := parseSweep(bad); err == nil {
+			t.Errorf("bad range %q accepted", bad)
+		}
+	}
+}

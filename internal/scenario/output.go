@@ -28,6 +28,34 @@ var csvHeader = []string{
 	"injected_frames", "rejected_replays", "accepted_replays",
 }
 
+// csvRow flattens one point into its curve row — shared by the
+// materialized WriteCSV and the streaming CSVSink, which is what keeps
+// their output byte-identical by construction.
+func csvRow(name string, workload Workload, p Point) []string {
+	f := func(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) }
+	n := strconv.Itoa
+	lat := LatencyStats{}
+	if p.Latency != nil {
+		lat = *p.Latency
+	}
+	var injected, rejected, accepted int
+	for _, a := range p.Attacks {
+		injected += a.InjectedFrames
+		rejected += a.RejectedAuth + a.RejectedProtocol
+		accepted += a.AcceptedReplays
+	}
+	return []string{
+		name, string(workload), string(p.Axis), strconv.FormatFloat(p.Value, 'f', 4, 64),
+		p.Error, n(p.Errors), n(p.Handshakes),
+		f(lat.MeanUS), f(lat.P50US), f(lat.P95US), f(lat.MinUS), f(lat.MaxUS),
+		f(p.WorkloadTimeUS), n(p.Retries), n(p.FailedAttempts), n(p.WorstAttempts), n(p.Retransmits),
+		n(p.MessageResends), n(p.IntegrityDrops), n(p.ProtocolDrops),
+		n(p.BusDropped), n(p.BusCorrupted), n(p.BusDuplicated), n(p.BusDelayed), n(p.RxOverflow),
+		n(p.GatewayForwarded), n(p.GatewayEgressDropped), n(p.GatewayPartitionDrops), f(p.SimTimeUS),
+		n(injected), n(rejected), n(accepted),
+	}
+}
+
 // WriteCSV emits the result's points as a flat CSV curve (RFC 4180
 // quoting via encoding/csv, so commas in scenario names stay intact).
 func WriteCSV(w io.Writer, r *Result) error {
@@ -35,30 +63,8 @@ func WriteCSV(w io.Writer, r *Result) error {
 	if err := cw.Write(csvHeader); err != nil {
 		return err
 	}
-	f := func(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) }
-	n := strconv.Itoa
 	for _, p := range r.Points {
-		lat := LatencyStats{}
-		if p.Latency != nil {
-			lat = *p.Latency
-		}
-		var injected, rejected, accepted int
-		for _, a := range p.Attacks {
-			injected += a.InjectedFrames
-			rejected += a.RejectedAuth + a.RejectedProtocol
-			accepted += a.AcceptedReplays
-		}
-		row := []string{
-			r.Name, string(r.Workload), string(p.Axis), strconv.FormatFloat(p.Value, 'f', 4, 64),
-			p.Error, n(p.Errors), n(p.Handshakes),
-			f(lat.MeanUS), f(lat.P50US), f(lat.P95US), f(lat.MinUS), f(lat.MaxUS),
-			f(p.WorkloadTimeUS), n(p.Retries), n(p.FailedAttempts), n(p.WorstAttempts), n(p.Retransmits),
-			n(p.MessageResends), n(p.IntegrityDrops), n(p.ProtocolDrops),
-			n(p.BusDropped), n(p.BusCorrupted), n(p.BusDuplicated), n(p.BusDelayed), n(p.RxOverflow),
-			n(p.GatewayForwarded), n(p.GatewayEgressDropped), n(p.GatewayPartitionDrops), f(p.SimTimeUS),
-			n(injected), n(rejected), n(accepted),
-		}
-		if err := cw.Write(row); err != nil {
+		if err := cw.Write(csvRow(r.Name, r.Workload, p)); err != nil {
 			return err
 		}
 	}
@@ -137,7 +143,10 @@ func ValidateJSON(data []byte) (*Result, error) {
 			return nil, fmt.Errorf("scenario: latency point %d has no latency stats", i)
 		}
 		if attack {
-			if len(p.Attacks) == 0 {
+			// Only the attack workload promises adversaries;
+			// day-in-the-life runs adversary-free too (the benign duty
+			// cycle), so its points may legitimately carry no accounting.
+			if r.Workload == WorkloadAttack && len(p.Attacks) == 0 {
 				return nil, fmt.Errorf("scenario: attack point %d has no attack accounting", i)
 			}
 			for _, a := range p.Attacks {

@@ -175,9 +175,14 @@ func latencyStats(samples []time.Duration) *LatencyStats {
 	for _, d := range sorted {
 		sum += d
 	}
-	p95 := (len(sorted) * 95) / 100
-	if p95 >= len(sorted) {
-		p95 = len(sorted) - 1
+	// Nearest-rank p95: the smallest rank r with r ≥ 0.95·n, as a
+	// 0-based index ceil(95n/100)−1. The old (95n)/100 floored the rank
+	// instead of ceiling it and so over-shot by one whenever 95n
+	// divided evenly — for n=20 it indexed the maximum (19) where
+	// nearest-rank says 18.
+	p95 := (len(sorted)*95+99)/100 - 1
+	if p95 < 0 {
+		p95 = 0
 	}
 	return &LatencyStats{
 		MeanUS: us(sum) / float64(len(sorted)),

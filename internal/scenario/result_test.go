@@ -1,0 +1,47 @@
+package scenario
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestLatencyStatsP95NearestRank pins the nearest-rank definition for
+// every sample size up to 100: p95 is the smallest rank r (1-based)
+// with r·100 ≥ 95·n. The old (95n)/100 floored the rank and so
+// over-shot by one whenever 95n divided evenly — for n=20 it reported
+// the maximum (rank 20) where nearest-rank says rank 19.
+func TestLatencyStatsP95NearestRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for n := 1; n <= 100; n++ {
+		// Distinct sorted values i+1 µs, shuffled: the stat must find
+		// the rank regardless of input order.
+		samples := make([]time.Duration, n)
+		for i := range samples {
+			samples[i] = time.Duration(i+1) * time.Microsecond
+		}
+		rng.Shuffle(n, func(i, j int) { samples[i], samples[j] = samples[j], samples[i] })
+
+		rank := 1
+		for rank*100 < 95*n {
+			rank++
+		}
+		want := float64(rank) // value at 1-based rank r is r µs
+
+		st := latencyStats(samples)
+		if st == nil {
+			t.Fatalf("n=%d: nil stats", n)
+		}
+		if st.P95US != want {
+			t.Errorf("n=%d: p95 = %v µs, want rank %d = %v µs", n, st.P95US, rank, want)
+		}
+	}
+	// The motivating case, explicitly: n=20 must report the 19th value.
+	samples := make([]time.Duration, 20)
+	for i := range samples {
+		samples[i] = time.Duration(i+1) * time.Microsecond
+	}
+	if st := latencyStats(samples); st.P95US != 19 {
+		t.Errorf("n=20: p95 = %v µs, want 19 (the old off-by-one returned 20, the max)", st.P95US)
+	}
+}

@@ -1,17 +1,13 @@
 package scenario
 
 import (
-	"bytes"
 	"fmt"
 	"io"
 	"math"
-	"runtime"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/canbus"
-	"repro/internal/conc"
 	"repro/internal/core"
 	"repro/internal/detrand"
 	"repro/internal/ec"
@@ -49,6 +45,17 @@ type Timing struct {
 	// MaxInFlight is the peak number of points simulating
 	// concurrently — the direct evidence of multi-core execution.
 	MaxInFlight int
+	// MaxReorderDepth is the peak number of completed points the
+	// ordered emitter held while waiting for an earlier point to
+	// finish — the direct evidence that memory stayed O(workers +
+	// ReorderSlack) rather than O(points). Always ≤ Workers +
+	// ReorderSlack; RunStreamWith fails the run otherwise.
+	MaxReorderDepth int
+	// HeapHighWater is the highest sampled heap allocation
+	// (runtime.MemStats.HeapAlloc) observed during the run, sampled
+	// every few flushed points. Host- and GC-dependent — evidence, not
+	// a measurement.
+	HeapHighWater uint64
 }
 
 // Run executes the scenario serially — every sweep point on a fresh,
@@ -110,90 +117,31 @@ func (t *tracer) printf(format string, args ...any) {
 // point-failure path, which no valid scenario reaches on its own.
 var runPointFn = runPoint
 
+// establishAllFn is the fleet bring-up call; tests swap it to observe
+// the parallelism actually requested (the Result is schedule-invariant
+// by contract, so honoring Scenario.Parallelism is unobservable in the
+// measurements — exactly the property that let the old hardcoded
+// EstablishAll(peers, 1) hide for three releases).
+var establishAllFn = func(m *fleet.Manager, peers []*core.Party, parallelism int) []error {
+	return m.EstablishAll(peers, parallelism)
+}
+
+// run is the materialized path: the streaming engine with a collecting
+// sink (and a TraceSink when a trace writer was given). Keeping it on
+// the same engine means the byte-identity contract between streamed
+// and materialized output is enforced by construction, not by tests
+// alone.
 func run(s Scenario, traceW io.Writer, o Options) (*Result, *Timing, error) {
-	s = s.withDefaults()
-	if err := s.Validate(); err != nil {
+	col := &collectSink{}
+	sinks := []PointSink{col}
+	if traceW != nil {
+		sinks = append(sinks, NewTraceSink(traceW))
+	}
+	timing, err := RunStreamWith(s, sinks, o)
+	if err != nil {
 		return nil, nil, err
 	}
-	axis := s.SweepAxis
-	if axis == "" {
-		axis = AxisDrop
-	}
-	res := &Result{
-		SchemaVersion: SchemaVersion,
-		Name:          s.Name,
-		Workload:      s.Workload,
-		Seed:          s.Seed,
-		Peers:         s.Peers,
-		Segments:      s.Segments,
-		Axis:          axis,
-	}
-
-	values := s.points()
-	workers := o.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(values) {
-		workers = len(values)
-	}
-	timing := &Timing{Workers: workers, Points: make([]time.Duration, len(values))}
-
-	// Each point gets a private trace buffer (nil tracers when no
-	// trace was requested); buffers are flushed to traceW in point
-	// order below, so the trace bytes never depend on scheduling.
-	points := make([]Point, len(values))
-	var buffers []bytes.Buffer
-	if traceW != nil {
-		buffers = make([]bytes.Buffer, len(values))
-	}
-
-	var inFlight, maxInFlight int64
-	start := time.Now()
-	conc.ForEach(len(values), workers, func(i int) {
-		cur := atomic.AddInt64(&inFlight, 1)
-		for {
-			m := atomic.LoadInt64(&maxInFlight)
-			if cur <= m || atomic.CompareAndSwapInt64(&maxInFlight, m, cur) {
-				break
-			}
-		}
-		defer atomic.AddInt64(&inFlight, -1)
-
-		var tr *tracer
-		if traceW != nil {
-			tr = &tracer{w: &buffers[i]}
-		}
-		t0 := time.Now()
-		pt, err := runPointFn(s, values[i], axis, tr)
-		timing.Points[i] = time.Since(t0)
-		if err != nil {
-			// A pathological point must not abort the sweep: record
-			// the failure in place, keep the index alignment, and let
-			// the remaining points measure.
-			pt = Point{Axis: axis, Value: values[i], Error: err.Error()}
-			tr.printf("point-error %s=%.4f: %v\n", axis, values[i], err)
-		}
-		points[i] = pt
-	})
-	timing.WallClock = time.Since(start)
-	timing.MaxInFlight = int(maxInFlight)
-	res.Points = points
-
-	if traceW != nil {
-		head := &tracer{w: traceW}
-		head.printf("# scenario %s workload=%s seed=%d peers=%d segments=%d axis=%s\n",
-			s.Name, s.Workload, s.Seed, s.Peers, s.Segments, axis)
-		if head.err != nil {
-			return nil, nil, head.err
-		}
-		for i := range buffers {
-			if _, err := traceW.Write(buffers[i].Bytes()); err != nil {
-				return nil, nil, err
-			}
-		}
-	}
-	return res, timing, nil
+	return col.res, timing, nil
 }
 
 // runPoint provisions a fleet, builds the fabric at one sweep value
@@ -303,7 +251,7 @@ func runPoint(s Scenario, v float64, axis Axis, tr *tracer) (Point, error) {
 		}
 
 		t0 := fab.now()
-		for _, err := range m.EstablishAll(peers, 1) {
+		for _, err := range establishAllFn(m, peers, s.Parallelism) {
 			if err != nil {
 				pt.Errors++
 			}
@@ -329,7 +277,7 @@ func runPoint(s Scenario, v float64, axis Axis, tr *tracer) (Point, error) {
 		for _, p := range half {
 			m.Disconnect(p.ID)
 		}
-		for _, err := range m.EstablishAll(half, 1) {
+		for _, err := range establishAllFn(m, half, s.Parallelism) {
 			if err != nil {
 				pt.Errors++
 			}
@@ -357,7 +305,7 @@ func runPoint(s Scenario, v float64, axis Axis, tr *tracer) (Point, error) {
 
 	case WorkloadBringup:
 		start := fab.now()
-		for _, err := range m.EstablishAll(peers, s.Parallelism) {
+		for _, err := range establishAllFn(m, peers, s.Parallelism) {
 			if err != nil {
 				pt.Errors++
 			}
@@ -366,7 +314,7 @@ func runPoint(s Scenario, v float64, axis Axis, tr *tracer) (Point, error) {
 
 	case WorkloadChurn:
 		start := fab.now()
-		for _, err := range m.EstablishAll(peers, s.Parallelism) {
+		for _, err := range establishAllFn(m, peers, s.Parallelism) {
 			if err != nil {
 				pt.Errors++
 			}
@@ -382,7 +330,7 @@ func runPoint(s Scenario, v float64, axis Axis, tr *tracer) (Point, error) {
 				m.Disconnect(p.ID)
 			}
 			t0 := fab.now()
-			for _, err := range m.EstablishAll(half, s.Parallelism) {
+			for _, err := range establishAllFn(m, half, s.Parallelism) {
 				if err != nil {
 					pt.Errors++
 				}

@@ -8,6 +8,8 @@ import (
 	"testing"
 
 	"repro/internal/canbus"
+	"repro/internal/core"
+	"repro/internal/fleet"
 )
 
 // parallelSweep is the reference multi-point sweep for the worker
@@ -226,5 +228,92 @@ func TestDuplicateSweepPoints(t *testing.T) {
 	}
 	if !reflect.DeepEqual(res.Points[0], res.Points[1]) {
 		t.Fatalf("identical sweep values measured differently:\n%+v\n%+v", res.Points[0], res.Points[1])
+	}
+}
+
+// TestDayInLifeHonorsParallelism is the regression gate for the
+// hardcoded EstablishAll(…, 1) bug: the day-in-the-life bringup and
+// churn phases must request Scenario.Parallelism. The Result is
+// schedule-invariant by contract, so the only observable evidence is
+// the parallelism actually passed to the fleet — captured through the
+// establishAllFn seam — plus a DeepEqual against the serial run to
+// prove the measurements did not move.
+func TestDayInLifeHonorsParallelism(t *testing.T) {
+	dayInLife := func(parallelism int) Scenario {
+		s := smallScenario(WorkloadDayInLife)
+		s.Name = "day-in-life-par"
+		s.Parallelism = parallelism
+		return s
+	}
+
+	// Adversary-free day-in-the-life at Parallelism > 1 must validate:
+	// the adversary × Parallelism>1 rejection only bites when
+	// adversaries are configured.
+	if err := dayInLife(3).Validate(); err != nil {
+		t.Fatalf("adversary-free day-in-the-life at parallelism 3 rejected: %v", err)
+	}
+	armed := dayInLife(3)
+	armed.Adversaries = []AdversaryConfig{{Kind: AdversaryReplay, Segment: -1}}
+	if err := armed.Validate(); err == nil {
+		t.Fatal("adversaries at parallelism 3 validated — the rejection must stay")
+	}
+
+	var calls []int
+	orig := establishAllFn
+	establishAllFn = func(m *fleet.Manager, peers []*core.Party, parallelism int) []error {
+		calls = append(calls, parallelism)
+		return m.EstablishAll(peers, parallelism)
+	}
+	defer func() { establishAllFn = orig }()
+
+	res3, err := Run(dayInLife(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != 2 { // bringup phase + churn phase
+		t.Fatalf("day-in-the-life made %d EstablishAll calls, want 2: %v", len(calls), calls)
+	}
+	for i, p := range calls {
+		if p != 3 {
+			t.Fatalf("EstablishAll call %d requested parallelism %d, want 3 (the knob was ignored)", i, p)
+		}
+	}
+
+	calls = nil
+	res1, err := Run(dayInLife(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res3, res1) {
+		t.Fatal("day-in-the-life measurements moved with parallelism — schedule invariance broken")
+	}
+	if len(res1.Points) != 1 || len(res1.Points[0].Phases) != 4 {
+		t.Fatalf("composite phases damaged: %+v", res1.Points)
+	}
+	if len(res1.Points[0].Attacks) != 0 {
+		t.Fatalf("adversary-free run reported attack accounting: %+v", res1.Points[0].Attacks)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, res1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ValidateJSON(buf.Bytes()); err != nil {
+		t.Fatalf("adversary-free day-in-the-life fails the schema gate: %v", err)
+	}
+}
+
+// TestZeroPointSweepRejected: the declared-but-empty sweep must be
+// refused by every entry point instead of emitting an empty curve
+// from a zero-worker run.
+func TestZeroPointSweepRejected(t *testing.T) {
+	s := smallScenario(WorkloadLatency)
+	s.SweepAxis = AxisDrop
+	s.SweepPoints = []float64{}
+	if _, _, err := RunWith(s, Options{Workers: 4}); err == nil {
+		t.Fatal("RunWith accepted a zero-point sweep")
+	}
+	if _, err := RunStreamWith(s, []PointSink{&collectSink{}}, Options{Workers: 4}); err == nil {
+		t.Fatal("RunStreamWith accepted a zero-point sweep")
 	}
 }

@@ -50,8 +50,12 @@ const (
 	// WorkloadDayInLife is the composite duty cycle: fleet bring-up,
 	// one steady-traffic rekey round, one churn round, then a single
 	// attack burst (handshake round with adversaries armed) — each
-	// phase timed separately. Same adversary and parallelism rules as
-	// WorkloadAttack.
+	// phase timed separately. Adversaries are optional: without any,
+	// the attack phase degrades to a second rekey round and the result
+	// carries no attack accounting — the benign duty cycle. With
+	// adversaries, the same parallelism rules as WorkloadAttack apply
+	// (Parallelism 1); adversary-free configs may set Parallelism > 1
+	// and the bring-up/churn phases honor it.
 	WorkloadDayInLife Workload = "day-in-the-life"
 )
 
@@ -127,10 +131,11 @@ type Scenario struct {
 	ChurnRounds int `json:"churn_rounds,omitempty"`
 
 	// Adversaries arms the attack workloads (and only those: Validate
-	// rejects adversaries on benign workloads and attack workloads
-	// without adversaries). Each runs on the point's private fabric
-	// with its own detrand stream, so the whole attack is
-	// schedule-invariant across sweep workers.
+	// rejects adversaries on benign workloads, and rejects the attack
+	// workload without adversaries; day-in-the-life runs with or
+	// without them). Each runs on the point's private fabric with its
+	// own detrand stream, so the whole attack is schedule-invariant
+	// across sweep workers.
 	Adversaries []AdversaryConfig `json:"adversaries,omitempty"`
 }
 
@@ -181,6 +186,9 @@ func (s Scenario) Validate() error {
 	}
 	if len(s.SweepPoints) > 0 && s.SweepAxis == "" {
 		return errors.New("scenario: sweep points without an axis")
+	}
+	if s.SweepPoints != nil && len(s.SweepPoints) == 0 {
+		return errors.New("scenario: sweep declared with zero points (a zero-point run would emit an empty curve and report 0 workers)")
 	}
 	for _, rate := range [...]float64{s.Profile.Drop, s.Profile.Corrupt, s.Profile.Duplicate, s.Profile.DelayRate} {
 		if rate < 0 || rate > 1 {
@@ -237,15 +245,16 @@ func (s Scenario) attackWorkload() bool {
 	return s.Workload == WorkloadAttack || s.Workload == WorkloadDayInLife
 }
 
-// validateAdversaries enforces the adversarial-workload contract:
-// attack workloads and adversaries come together or not at all,
-// attack points run at Parallelism 1 (adversary decisions are keyed
-// to the shared simulated clock, so conversation interleaving inside
-// a point would change what the attacker observes — sweep-point
-// workers stay free, each point's fabric is private), and every
-// config resolves to a real target on the topology.
+// validateAdversaries enforces the adversarial-workload contract: the
+// attack workload needs at least one adversary (day-in-the-life is a
+// duty cycle first, so it runs adversary-free too), adversaries never
+// ride benign workloads, armed points run at Parallelism 1 (adversary
+// decisions are keyed to the shared simulated clock, so conversation
+// interleaving inside a point would change what the attacker observes
+// — sweep-point workers stay free, each point's fabric is private),
+// and every config resolves to a real target on the topology.
 func (s Scenario) validateAdversaries() error {
-	if s.attackWorkload() && len(s.Adversaries) == 0 {
+	if s.Workload == WorkloadAttack && len(s.Adversaries) == 0 {
 		return fmt.Errorf("scenario: workload %q needs at least one adversary", s.Workload)
 	}
 	if !s.attackWorkload() && len(s.Adversaries) > 0 {
@@ -297,9 +306,12 @@ func (s Scenario) validateAdversaries() error {
 }
 
 // points returns the sweep values to measure, or the base profile's
-// own axis value for an empty sweep.
+// own axis value when no sweep was declared. A declared-but-empty
+// sweep (non-nil, zero points) never reaches here: Validate rejects it
+// — it used to fall through to a zero-point run that clamped the
+// worker count to 0 and emitted an empty curve with no diagnostic.
 func (s Scenario) points() []float64 {
-	if len(s.SweepPoints) > 0 {
+	if s.SweepPoints != nil {
 		return s.SweepPoints
 	}
 	return []float64{s.axisValue(s.Profile)}

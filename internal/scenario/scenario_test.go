@@ -359,6 +359,10 @@ func TestScenarioValidation(t *testing.T) {
 		{Name: "x", Peers: 2, SweepAxis: "phase"},
 		{Name: "x", Peers: 2, SweepPoints: []float64{0.5}}, // points without axis
 		{Name: "x", Peers: 2, SweepAxis: AxisDrop, SweepPoints: []float64{2}},
+		// A declared-but-empty sweep used to clamp workers to 0 and
+		// emit an empty curve with Timing.Workers=0 and no diagnostic;
+		// now it is a validation error.
+		{Name: "x", Peers: 2, SweepAxis: AxisDrop, SweepPoints: []float64{}},
 		// The one egress × concurrency corner that is still not
 		// schedule-invariant: a trailing duplicate can be gated when
 		// the workload ends, so which run counts it is scheduling.
