@@ -10,7 +10,7 @@ SHELL := /bin/bash
 BENCH_COMPARE ?= BenchmarkScalarMultAblation|BenchmarkFig3_STSOperations|BenchmarkLiveHandshake
 BENCH_COUNT ?= 5
 
-.PHONY: build test race race-parallel test-purebig bench bench-smoke bench-compare bench-batch bench-alloc bench-scenarios scenario-smoke adversarial-smoke parallel-invariance stream-smoke fuzz-smoke fmt fmt-check vet lint doccheck linkcheck cover
+.PHONY: build test race race-parallel test-purebig bench bench-smoke bench-compare bench-batch bench-alloc bench-scenarios scenario-smoke adversarial-smoke parallel-invariance stream-smoke fuzz-smoke fmt fmt-check vet lint doccheck linkcheck detlint cover
 
 build:
 	$(GO) build ./...
@@ -247,7 +247,8 @@ vet:
 # comments there state determinism obligations, so a missing one is a
 # missing contract). Zero dependencies — a go/ast walk.
 DOCCHECK_PKGS := ./internal/scenario ./internal/canbus ./internal/security \
-	./internal/transport ./internal/fleet
+	./internal/transport ./internal/fleet ./internal/cantp ./internal/conc \
+	./internal/detrand ./internal/ec ./internal/ecdsa
 doccheck:
 	$(GO) run ./cmd/doccheck $(DOCCHECK_PKGS)
 
@@ -256,11 +257,21 @@ doccheck:
 linkcheck:
 	$(GO) run ./cmd/linkcheck README.md docs/*.md
 
-# Static analysis beyond vet. doccheck and linkcheck are in-repo (no
-# install needed); staticcheck and govulncheck are not vendored — CI
-# installs them, and locally the target degrades to the in-repo
-# checks with a notice rather than failing on a missing binary.
-lint: vet doccheck linkcheck
+# The determinism- and hot-path-contract analyzers (internal/analysis
+# + detcheck) over the whole module: wallclock, detrand, maporder,
+# spawn, hotpath. Pure stdlib like doccheck/linkcheck — no installs,
+# no network. Exits non-zero on any unsuppressed finding, malformed
+# //detlint:allow annotation, or unused annotation, so the escape set
+# in the tree is exactly the documented exceptions.
+detlint:
+	$(GO) run ./cmd/detlint ./...
+
+# Static analysis beyond vet. doccheck, linkcheck and detlint are
+# in-repo (no install needed); staticcheck and govulncheck are not
+# vendored — CI installs them at pinned versions, and locally the
+# target degrades to the in-repo checks with a notice rather than
+# failing on a missing binary.
+lint: vet doccheck linkcheck detlint
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
 	else \

@@ -1,0 +1,74 @@
+// Command detlint runs the repo's contract analyzers — the detcheck
+// suite — over the packages named on the command line, printing every
+// finding as file:line:col: check: message and exiting 1 when any
+// survive suppression. It is the static-enforcement half of the
+// determinism contract: the byte-compare CI gates prove the contracts
+// hold on the paths the scenarios drive, detlint proves no code path
+// exists that could break them.
+//
+// Usage:
+//
+//	go run ./cmd/detlint ./...
+//	go run ./cmd/detlint -help
+//
+// Suppressions are per-line annotations with a mandatory reason:
+//
+//	//detlint:allow <check> <reason>
+//
+// covering the annotation's own line and the line below. Malformed
+// and unused annotations are findings themselves, so the escape set
+// stays exactly as large as the documented exceptions.
+//
+// Like cmd/doccheck and cmd/linkcheck, detlint is pure standard
+// library (go/ast + go/types with the source importer): it needs no
+// installed tools, no module proxy and no network, so `make lint`
+// works on a bare toolchain.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/detcheck"
+)
+
+func main() {
+	help := flag.Bool("help", false, "describe the checks and exit")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: detlint [-help] <package-pattern>...")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := detcheck.Analyzers()
+	if *help {
+		for _, a := range analyzers {
+			fmt.Printf("%s\n\t%s\n\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	pkgs, err := analysis.Load(flag.Args())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "detlint: %v\n", err)
+		os.Exit(2)
+	}
+	findings, err := analysis.Run(analyzers, pkgs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "detlint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Printf("detlint: %d findings\n", len(findings))
+		os.Exit(1)
+	}
+}

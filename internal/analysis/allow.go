@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// allowPrefix is the machine-directive prefix of a suppression
+// comment. Like //go:generate, there is no space after the slashes.
+const allowPrefix = "detlint:allow"
+
+// hygieneCheck is the pseudo-check name used for findings about the
+// annotations themselves (malformed or unused). It is not a real
+// analyzer, so hygiene findings can never be suppressed — an escape
+// hatch for the escape hatches would let the contract rot.
+const hygieneCheck = "detlint"
+
+// allowance is one parsed //detlint:allow annotation. It suppresses
+// diagnostics of Check in the same file on its own line and on the
+// line directly below — tight enough that an annotation can never
+// silently cover code added later further down the file.
+type allowance struct {
+	check    string
+	reason   string
+	position token.Position
+	used     bool
+}
+
+// parseAllows scans every comment in the package for detlint:allow
+// annotations. known is the set of valid check names; annotations
+// with an unknown check name or a missing reason are returned as
+// hygiene findings — a malformed escape must fail the build rather
+// than silently suppress nothing.
+func parseAllows(pkg *Package, known map[string]bool) ([]*allowance, []Finding) {
+	var allows []*allowance
+	var bad []Finding
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//"+allowPrefix)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				switch {
+				case len(fields) == 0:
+					bad = append(bad, Finding{
+						Position: pos,
+						Check:    hygieneCheck,
+						Message:  "malformed annotation: missing check name and reason (want //detlint:allow <check> <reason>)",
+					})
+				case !known[fields[0]]:
+					bad = append(bad, Finding{
+						Position: pos,
+						Check:    hygieneCheck,
+						Message:  "malformed annotation: unknown check " + strconv(fields[0]) + " (want //detlint:allow <check> <reason>)",
+					})
+				case len(fields) == 1:
+					bad = append(bad, Finding{
+						Position: pos,
+						Check:    hygieneCheck,
+						Message:  "malformed annotation: missing reason — every exception to a contract must say why it is sound",
+					})
+				default:
+					allows = append(allows, &allowance{
+						check:    fields[0],
+						reason:   strings.Join(fields[1:], " "),
+						position: pos,
+					})
+				}
+			}
+		}
+	}
+	return allows, bad
+}
+
+// suppresses reports whether a covers a diagnostic of check at pos in
+// the given matching pass — sameLine first, then the line below —
+// and marks the allowance used when it does. The two passes exist so
+// that on adjacent annotated lines each trailing annotation claims
+// its own line's diagnostic instead of the earlier annotation
+// reaching down and orphaning the later one.
+func (a *allowance) suppresses(check string, pos token.Position, sameLine bool) bool {
+	if a.check != check || a.position.Filename != pos.Filename {
+		return false
+	}
+	want := a.position.Line
+	if !sameLine {
+		want++
+	}
+	if pos.Line != want {
+		return false
+	}
+	a.used = true
+	return true
+}
+
+// strconv quotes a string for a diagnostic message without pulling in
+// fmt's %q machinery at every call site.
+func strconv(s string) string { return "\"" + s + "\"" }

@@ -1,0 +1,162 @@
+package analysis
+
+import (
+	"go/ast"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadSrc type-checks one synthetic file as a fixture package.
+func loadSrc(t *testing.T, src string) *Package {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "a.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := LoadDir(dir, "example.invalid/fixture")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg
+}
+
+// TestParseAllows table-tests the annotation grammar: a malformed
+// //detlint:allow comment — unknown check name, missing reason,
+// missing everything — must itself become a diagnostic, never a
+// silent no-op.
+func TestParseAllows(t *testing.T) {
+	known := map[string]bool{"wallclock": true, "spawn": true}
+	cases := []struct {
+		name       string
+		comment    string
+		wantAllows int
+		wantBad    string // substring of the hygiene finding, "" for none
+	}{
+		{"valid", "//detlint:allow wallclock host-side timing only", 1, ""},
+		{"valid multiword reason", "//detlint:allow spawn singleton pump, joined before return", 1, ""},
+		{"unknown check", "//detlint:allow wallclok typo in check name", 0, `unknown check "wallclok"`},
+		{"missing reason", "//detlint:allow wallclock", 0, "missing reason"},
+		{"missing everything", "//detlint:allow", 0, "missing check name and reason"},
+		{"missing everything with spaces", "//detlint:allow   ", 0, "missing check name and reason"},
+		{"reason is whitespace", "//detlint:allow spawn \t ", 0, "missing reason"},
+		{"not an annotation", "// detlint:allow wallclock spaced prefix is a plain comment", 0, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pkg := loadSrc(t, "package fixture\n\n"+tc.comment+"\nfunc f() {}\n")
+			allows, bad := parseAllows(pkg, known)
+			if len(allows) != tc.wantAllows {
+				t.Errorf("got %d allowances, want %d", len(allows), tc.wantAllows)
+			}
+			if tc.wantBad == "" {
+				if len(bad) != 0 {
+					t.Errorf("unexpected hygiene findings: %v", bad)
+				}
+				return
+			}
+			if len(bad) != 1 {
+				t.Fatalf("got %d hygiene findings, want 1: %v", len(bad), bad)
+			}
+			if bad[0].Check != "detlint" || !strings.Contains(bad[0].Message, tc.wantBad) {
+				t.Errorf("finding %q does not contain %q", bad[0].Message, tc.wantBad)
+			}
+		})
+	}
+}
+
+// stubAnalyzer flags every call expression — a minimal diagnostic
+// source for exercising the suppression window.
+var stubAnalyzer = &Analyzer{
+	Name: "stub",
+	Doc:  "flags every call expression (test scaffolding)",
+	Run: func(pass *Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if c, ok := n.(*ast.CallExpr); ok {
+					pass.Reportf(c.Pos(), "call")
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+// TestSuppressionWindow pins the annotation's reach: its own line and
+// the line directly below, nothing further.
+func TestSuppressionWindow(t *testing.T) {
+	src := `package fixture
+
+func f() {}
+
+func g() {
+	f() //detlint:allow stub same-line suppression
+	//detlint:allow stub next-line suppression
+	f()
+	f()
+}
+`
+	pkg := loadSrc(t, src)
+	findings, err := Run([]*Analyzer{stubAnalyzer}, []*Package{pkg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("want exactly 1 surviving finding, got %d: %v", len(findings), findings)
+	}
+	if findings[0].Position.Line != 9 || findings[0].Check != "stub" {
+		t.Errorf("surviving finding at wrong place: %s", findings[0])
+	}
+}
+
+// TestUnusedAnnotation pins the converse contract: an allowance that
+// suppresses nothing is itself a finding, so stale escapes cannot
+// linger after the code they excused is gone.
+func TestUnusedAnnotation(t *testing.T) {
+	src := `package fixture
+
+//detlint:allow stub nothing on this line or the next produces a diagnostic
+var x = 1
+`
+	pkg := loadSrc(t, src)
+	findings, err := Run([]*Analyzer{stubAnalyzer}, []*Package{pkg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("want 1 finding, got %d: %v", len(findings), findings)
+	}
+	f := findings[0]
+	if f.Check != "detlint" || !strings.Contains(f.Message, "unused annotation") || !strings.Contains(f.Message, "stub") {
+		t.Errorf("want unused-annotation hygiene finding naming the check, got: %s", f)
+	}
+}
+
+// TestFindingOrder pins the stable sort: findings come back ordered
+// by file, line and column regardless of analyzer report order.
+func TestFindingOrder(t *testing.T) {
+	src := `package fixture
+
+func f() {}
+
+func g() { f(); f() }
+
+func h() { f() }
+`
+	pkg := loadSrc(t, src)
+	findings, err := Run([]*Analyzer{stubAnalyzer}, []*Package{pkg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 3 {
+		t.Fatalf("want 3 findings, got %d", len(findings))
+	}
+	for i := 1; i < len(findings); i++ {
+		prev, cur := findings[i-1].Position, findings[i].Position
+		if cur.Line < prev.Line || (cur.Line == prev.Line && cur.Column < prev.Column) {
+			t.Errorf("findings out of order: %s before %s", findings[i-1], findings[i])
+		}
+	}
+}

@@ -1,0 +1,119 @@
+// Package analysistest runs an analyzer over a fixture package and
+// compares its findings against expectations written in the fixture
+// source — the same workflow as golang.org/x/tools' analysistest,
+// rebuilt on the in-repo framework so fixtures run on a bare
+// toolchain.
+//
+// Expectations are trailing comments on the offending line:
+//
+//	for k := range m { // want "map iteration order"
+//
+// Each quoted string is a substring that must appear in one
+// "check: message" finding reported on that line. Lines with no want
+// comment must produce no finding. Because expectations run after
+// suppression filtering, a fixture line carrying a valid
+// //detlint:allow annotation and no want comment proves the
+// suppression path, and a line with a want comment proves the
+// true-positive path — every analyzer's fixture is required to
+// contain at least one of each.
+package analysistest
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// Run loads the fixture package rooted at dir as if it had import
+// path asPath (analyzers scope themselves by import path), applies
+// the analyzer plus the framework's suppression and annotation-
+// hygiene passes, and fails t on any mismatch between findings and
+// // want expectations.
+func Run(t *testing.T, a *analysis.Analyzer, dir, asPath string) {
+	t.Helper()
+	pkg, err := analysis.LoadDir(dir, asPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	findings, err := analysis.Run([]*analysis.Analyzer{a}, []*analysis.Package{pkg})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]string{}
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				k := key{pos.Filename, pos.Line}
+				subs, err := parseWants(rest)
+				if err != nil {
+					t.Fatalf("%s:%d: %v", pos.Filename, pos.Line, err)
+				}
+				wants[k] = append(wants[k], subs...)
+			}
+		}
+	}
+
+	matched := map[key][]bool{}
+	for k, subs := range wants {
+		matched[k] = make([]bool, len(subs))
+	}
+	for _, f := range findings {
+		k := key{f.Position.Filename, f.Position.Line}
+		text := f.Check + ": " + f.Message
+		found := false
+		for i, sub := range wants[k] {
+			if !matched[k][i] && strings.Contains(text, sub) {
+				matched[k][i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for k, subs := range wants {
+		for i, sub := range subs {
+			if !matched[k][i] {
+				t.Errorf("%s:%d: no finding matching %q", k.file, k.line, sub)
+			}
+		}
+	}
+}
+
+// parseWants extracts the quoted substrings from the tail of a
+// // want comment.
+func parseWants(s string) ([]string, error) {
+	var subs []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			break
+		}
+		if s[0] != '"' {
+			return nil, fmt.Errorf("malformed want comment near %q: expected quoted string", s)
+		}
+		end := strings.IndexByte(s[1:], '"')
+		if end < 0 {
+			return nil, fmt.Errorf("malformed want comment: unterminated string")
+		}
+		subs = append(subs, s[1:1+end])
+		s = s[end+2:]
+	}
+	if len(subs) == 0 {
+		return nil, fmt.Errorf("malformed want comment: no quoted strings")
+	}
+	return subs, nil
+}

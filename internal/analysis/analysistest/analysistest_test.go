@@ -1,0 +1,87 @@
+package analysistest
+
+import (
+	"go/ast"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// stub flags every go statement — a one-rule analyzer for exercising
+// the fixture runner itself.
+var stub = &analysis.Analyzer{
+	Name: "stub",
+	Doc:  "flags go statements (runner self-test scaffolding)",
+	Run: func(pass *analysis.Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if g, ok := n.(*ast.GoStmt); ok {
+					pass.Reportf(g.Pos(), "go statement")
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+// TestRunMatchesWants drives the runner end to end over a synthetic
+// fixture exercising all three behaviours at once: a want-matched
+// finding, a suppressed line with no want, and a clean line.
+func TestRunMatchesWants(t *testing.T) {
+	dir := t.TempDir()
+	src := `package fixture
+
+import "sync"
+
+func bad(wg *sync.WaitGroup) {
+	go wg.Done() // want "stub: go statement"
+}
+
+func allowed(wg *sync.WaitGroup) {
+	//detlint:allow stub runner self-test suppression
+	go wg.Done()
+}
+
+func clean() {}
+`
+	if err := os.WriteFile(filepath.Join(dir, "a.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	Run(t, stub, dir, "example.invalid/fixture")
+}
+
+// TestParseWants table-tests the want-comment grammar.
+func TestParseWants(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    []string
+		wantErr bool
+	}{
+		{`"one"`, []string{"one"}, false},
+		{`"one" "two"`, []string{"one", "two"}, false},
+		{`  "spaced"  `, []string{"spaced"}, false},
+		{``, nil, true},
+		{`unquoted`, nil, true},
+		{`"unterminated`, nil, true},
+	}
+	for _, tc := range cases {
+		got, err := parseWants(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("parseWants(%q): want error, got %v", tc.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseWants(%q): %v", tc.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("parseWants(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}

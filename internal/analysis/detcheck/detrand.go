@@ -1,0 +1,51 @@
+package detcheck
+
+import (
+	"strconv"
+
+	"repro/internal/analysis"
+)
+
+// detrandBanned lists the ambient-randomness packages whose import
+// alone is a contract violation in the deterministic packages:
+// math/rand's global state is seeded per process, crypto/rand reads
+// the host entropy pool — either one makes a run irreproducible.
+var detrandBanned = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+	"crypto/rand":  true,
+}
+
+// Detrand flags imports of math/rand and crypto/rand in the
+// deterministic packages. All randomness there must flow from
+// repro/internal/detrand's seeded generators or from an io.Reader
+// injected by the caller — that is what lets the same seed replay
+// the same faults, the same schedules and the same bytes. The check
+// is import-granular rather than call-granular on purpose: an
+// imported ambient-randomness package is one refactor away from
+// being called, so the contract bans the dependency, not just the
+// call.
+var Detrand = &analysis.Analyzer{
+	Name: "detrand",
+	Doc: "flags math/rand and crypto/rand imports in the deterministic simulation " +
+		"packages; randomness must come from repro/internal/detrand or an injected io.Reader",
+	Run: runDetrand,
+}
+
+func runDetrand(pass *analysis.Pass) error {
+	if !deterministicPkgs[pass.Path] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, imp := range file.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || !detrandBanned[path] {
+				continue
+			}
+			pass.Reportf(imp.Pos(),
+				"import of %s is ambient randomness: route it through repro/internal/detrand or an injected io.Reader so the same seed replays the same run",
+				path)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,191 @@
+package detcheck
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Maporder flags `range` over a map in any function from which an
+// output sink is reachable: a trace or emitter write, an
+// encoding/json or encoding/csv call, or construction/mutation of an
+// accounting struct. Go randomizes map iteration order per run, so a
+// map range on such a path is a latent schedule-invariance hole —
+// the byte-compare gates only catch it if a scenario happens to make
+// two orders observable, while this check refuses the pattern
+// outright. Iterating a sorted copy of the keys is always available
+// and always deterministic; sites that prove order cannot leak (for
+// example rows sorted before emission) carry //detlint:allow
+// maporder annotations stating that argument.
+var Maporder = &analysis.Analyzer{
+	Name: "maporder",
+	Doc: "flags map iteration in functions that reach a trace/JSON/CSV sink or an " +
+		"accounting struct; map order is randomized per run, so sort the keys instead",
+	Run: runMaporder,
+}
+
+// sinkReceiverWords mark same-package receiver types whose methods
+// count as output sinks (the scenario tracer, the streaming sinks).
+var sinkReceiverWords = []string{"trace", "sink", "writer", "emitter"}
+
+func runMaporder(pass *analysis.Pass) error {
+	funcs := packageFuncs(pass)
+
+	// Pass 1: which functions directly touch a sink, and which one.
+	sinks := map[types.Object]bool{}
+	sinkDesc := map[types.Object]string{}
+	for obj, fi := range funcs {
+		if desc := directSink(pass, fi.decl); desc != "" {
+			sinks[obj] = true
+			sinkDesc[obj] = desc
+		}
+	}
+
+	// Pass 2: inverse reachability over same-package static calls —
+	// every function from which some sink is reachable.
+	reach := reachable(funcs, sinks)
+
+	// Pass 3: flag map ranges in reaching functions.
+	for obj, fi := range funcs {
+		if !reach[obj] {
+			continue
+		}
+		desc := nearestSinkDesc(funcs, sinkDesc, obj)
+		ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypesInfo.Types[rng.X].Type
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			pass.Reportf(rng.Pos(),
+				"map iteration in %s, which reaches %s: map order is randomized per run — iterate a sorted copy of the keys",
+				fi.decl.Name.Name, desc)
+			return true
+		})
+	}
+	return nil
+}
+
+// directSink inspects one function body for an output-sink operation
+// and describes the first one found, or returns "".
+func directSink(pass *analysis.Pass, fd *ast.FuncDecl) string {
+	var desc string
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if desc != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if d := sinkCall(pass, n); d != "" {
+				desc = d
+			}
+		case *ast.CompositeLit:
+			if t := pass.TypesInfo.Types[n].Type; t != nil {
+				if name := namedTypeName(t); accountingType(name) {
+					desc = "accounting struct " + name
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if name := accountingFieldTarget(pass, lhs); name != "" {
+					desc = "accounting struct " + name
+				}
+			}
+		case *ast.IncDecStmt:
+			if name := accountingFieldTarget(pass, n.X); name != "" {
+				desc = "accounting struct " + name
+			}
+		}
+		return true
+	})
+	return desc
+}
+
+// sinkCall describes a call that emits bytes — encoding/json,
+// encoding/csv, fmt.Fprint*, or a method on a same-package
+// trace/sink/writer/emitter type — or returns "".
+func sinkCall(pass *analysis.Pass, call *ast.CallExpr) string {
+	obj := calleeOf(pass, call)
+	if obj == nil {
+		return ""
+	}
+	switch pkgPathOf(obj) {
+	case "encoding/json":
+		return "an encoding/json writer"
+	case "encoding/csv":
+		return "an encoding/csv writer"
+	case "fmt":
+		if strings.HasPrefix(obj.Name(), "Fprint") {
+			return "a fmt.Fprint* writer"
+		}
+		return ""
+	}
+	// A method on a same-package type whose name marks it as an
+	// output object (tracer, sink, writer, emitter).
+	fn, ok := obj.(*types.Func)
+	if !ok || pkgPathOf(fn) != pass.Path {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	recv := strings.ToLower(namedTypeName(sig.Recv().Type()))
+	for _, w := range sinkReceiverWords {
+		if strings.Contains(recv, w) {
+			return "the " + namedTypeName(sig.Recv().Type()) + " output type"
+		}
+	}
+	return ""
+}
+
+// accountingFieldTarget reports the accounting type name when expr is
+// a field selection on one of the repo's accounting structures.
+func accountingFieldTarget(pass *analysis.Pass, expr ast.Expr) string {
+	sel, ok := ast.Unparen(expr).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	t := pass.TypesInfo.Types[sel.X].Type
+	if t == nil {
+		return ""
+	}
+	if name := namedTypeName(t); accountingType(name) {
+		return name
+	}
+	return ""
+}
+
+// nearestSinkDesc picks a sink description for diagnostics: the
+// function's own sink when it has one, otherwise the first callee
+// (in source order) through which a sink is reachable, BFS outward.
+func nearestSinkDesc(funcs map[types.Object]*funcInfo, sinkDesc map[types.Object]string, from types.Object) string {
+	seen := map[types.Object]bool{from: true}
+	queue := []types.Object{from}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if d, ok := sinkDesc[cur]; ok {
+			return d
+		}
+		fi, ok := funcs[cur]
+		if !ok {
+			continue
+		}
+		for _, callee := range fi.callees {
+			if _, local := funcs[callee]; local && !seen[callee] {
+				seen[callee] = true
+				queue = append(queue, callee)
+			}
+		}
+	}
+	return "an output sink"
+}

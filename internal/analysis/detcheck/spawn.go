@@ -1,0 +1,47 @@
+package detcheck
+
+import (
+	"go/ast"
+
+	"repro/internal/analysis"
+)
+
+// Spawn flags naked `go` statements everywhere outside
+// repro/internal/conc. All fan-out in this repo rides conc's bounded
+// worker pools: that bound is a premise of the reorder-window memory
+// contract (streaming sweeps hold O(workers + slack) state) and of
+// the worker-invariance arguments (results land index-aligned no
+// matter the schedule). A goroutine launched anywhere else is
+// unbounded and unaccounted — if a launch point is genuinely sound
+// (for example a singleton background pump with its own shutdown
+// proof), it carries a //detlint:allow spawn annotation making that
+// argument.
+var Spawn = &analysis.Analyzer{
+	Name: "spawn",
+	Doc: "flags go statements outside repro/internal/conc; all concurrency must ride " +
+		"the bounded worker pool that the reorder-window and invariance arguments assume",
+	Run: runSpawn,
+}
+
+// concPkg is the one package allowed to launch goroutines: the
+// bounded pool itself.
+const concPkg = "repro/internal/conc"
+
+func runSpawn(pass *analysis.Pass) error {
+	if pass.Path == concPkg {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			pass.Reportf(g.Pos(),
+				"naked go statement: fan-out must ride %s's bounded workers so concurrency stays bounded and accountable",
+				concPkg)
+			return true
+		})
+	}
+	return nil
+}

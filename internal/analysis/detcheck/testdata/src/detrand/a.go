@@ -1,0 +1,20 @@
+// Package fixture exercises the detrand analyzer: ambient-randomness
+// imports are flagged at the import site, injected io.Readers are
+// fine, and an annotated import is suppressed.
+package fixture
+
+import (
+	crand "crypto/rand" // want "detrand: import of crypto/rand is ambient randomness"
+	"io"
+	mrand "math/rand" // want "detrand: import of math/rand is ambient randomness"
+	//detlint:allow detrand fixture exercises the suppression path; real code must justify the oracle
+	randv2 "math/rand/v2"
+)
+
+// Seeded draws from an injected reader — the approved pattern.
+func Seeded(r io.Reader, buf []byte) (int, error) { return r.Read(buf) }
+
+func useAmbient(buf []byte) int {
+	_, _ = crand.Read(buf)
+	return mrand.Int() + int(randv2.Uint64())
+}

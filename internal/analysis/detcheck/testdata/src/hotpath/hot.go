@@ -1,0 +1,38 @@
+// Package fixture exercises the hotpath analyzer in a non-approved
+// file (hot.go): math/big is flagged per declaration, and fmt calls
+// and interface boxing are flagged in every function reachable from
+// a hot-path root.
+package fixture
+
+import (
+	"fmt"
+	"math/big"
+)
+
+func reduce(k *big.Int) uint64 { // want "hotpath: reduce uses math/big in hot-path file hot.go"
+	return k.Uint64()
+}
+
+//detlint:allow hotpath boundary conversion kept next to its caller; one O(1) alloc, measured by the budget test
+func allowedReduce(k *big.Int) uint64 {
+	return k.Uint64()
+}
+
+// ScalarMult is a hot-path root: everything it reaches is budgeted.
+func ScalarMult(k uint64) uint64 {
+	fmt.Println(k) // want "hotpath: fmt.Println on the hot path"
+	return double(k)
+}
+
+func double(k uint64) uint64 {
+	v := any(k) // want "hotpath: conversion to interface any on the hot path"
+	_ = v
+	sink(k) // want "hotpath: interface boxing on the hot path"
+	return k * 2
+}
+
+func sink(v any) { _ = v }
+
+// cold is unreachable from every root: fmt and boxing are fine off
+// the hot path.
+func cold() { fmt.Println("cold") }

@@ -1,0 +1,58 @@
+// Package fixture exercises the maporder analyzer: map iteration is
+// flagged only in functions from which an output sink — an emitter
+// call, an accounting struct, a helper that writes — is reachable,
+// and the sorted-copy pattern is the documented escape.
+package fixture
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Stats is an accounting struct by the repo's naming convention.
+type Stats struct{ Frames int }
+
+func emitDirect(w io.Writer, m map[string]int) error {
+	for k, v := range m { // want "maporder: map iteration in emitDirect"
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+	return json.NewEncoder(w).Encode(len(m))
+}
+
+func tally(st *Stats, m map[string]int) {
+	for range m { // want "maporder: map iteration in tally, which reaches accounting struct Stats"
+		st.Frames++
+	}
+}
+
+func viaHelper(w io.Writer, m map[string]int) {
+	for k := range m { // want "maporder: map iteration in viaHelper"
+		helper(w, k)
+	}
+}
+
+func helper(w io.Writer, s string) { fmt.Fprintln(w, s) }
+
+func sortedCopy(w io.Writer, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	//detlint:allow maporder keys are collected then sorted; iteration order cannot reach the writer
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintln(w, k)
+	}
+}
+
+// pure reaches no sink: summing over a map in any order is
+// deterministic, so this stays silent.
+func pure(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}

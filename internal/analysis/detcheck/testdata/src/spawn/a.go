@@ -1,0 +1,25 @@
+// Package fixture exercises the spawn analyzer: goroutine launches
+// outside the bounded pool are flagged, and a documented singleton
+// launch point is suppressed.
+package fixture
+
+import "sync"
+
+func bad() {
+	go func() {}() // want "spawn: naked go statement"
+}
+
+func badNamed(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go pump(wg) // want "spawn: naked go statement"
+	wg.Wait()
+}
+
+func allowedSingleton(wg *sync.WaitGroup) {
+	wg.Add(1)
+	//detlint:allow spawn singleton background pump, joined on wg before return — bounded by construction
+	go pump(wg)
+	wg.Wait()
+}
+
+func pump(wg *sync.WaitGroup) { wg.Done() }

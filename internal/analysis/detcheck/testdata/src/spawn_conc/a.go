@@ -1,0 +1,20 @@
+// Package fixture proves the spawn analyzer's scope: loaded as
+// repro/internal/conc itself, the bounded pool's own go statements
+// produce no findings.
+package fixture
+
+import "sync"
+
+// ForEach is a stand-in for the real pool: the one place goroutines
+// may be born.
+func ForEach(n int, fn func(int)) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fn(i)
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,32 @@
+// Package fixture exercises the wallclock analyzer: wall-clock
+// acquisition is flagged, stored times and duration arithmetic are
+// not, and annotated host-side timing is suppressed.
+package fixture
+
+import "time"
+
+// Clock is a stand-in for the simulated clock: holding and returning
+// time values is fine, acquiring them from the host is not.
+type Clock struct{ now time.Time }
+
+// At returns the simulated instant — no finding.
+func (c *Clock) At() time.Time { return c.now }
+
+func bad() time.Time {
+	return time.Now() // want "wallclock: time.Now reads the wall clock"
+}
+
+func badSleep() {
+	time.Sleep(time.Millisecond) // want "wallclock: time.Sleep reads the wall clock"
+}
+
+func badTimer() *time.Timer {
+	return time.NewTimer(time.Second) // want "wallclock: time.NewTimer reads the wall clock"
+}
+
+func allowedHostTiming() time.Duration {
+	t0 := time.Now()      //detlint:allow wallclock host-side progress timing, never reaches emitted bytes
+	return time.Since(t0) //detlint:allow wallclock host-side progress timing, never reaches emitted bytes
+}
+
+func arithmetic(c *Clock, d time.Duration) time.Time { return c.now.Add(d) }

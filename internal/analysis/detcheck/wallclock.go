@@ -1,0 +1,64 @@
+package detcheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// wallclockBanned lists the package time functions that read or wait
+// on the host's wall clock. Pure arithmetic on time.Duration and
+// time.Time values is fine — only acquiring wall-clock time (or
+// scheduling against it) breaks schedule invariance.
+var wallclockBanned = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Since":     true,
+	"Until":     true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// Wallclock flags wall-clock acquisition in the deterministic
+// packages: every simulated instant must come from the canbus
+// simulated clock, so that a run's observable behaviour — traces,
+// timeouts, accounting — is a pure function of inputs and seeds.
+// The byte-compare CI gates prove this holds for the scenarios they
+// run; this check proves no other code path can break it. Intentional
+// out-of-band wall-clock measurement (the host-side Timing block in
+// internal/scenario/stream.go, which never touches Result bytes)
+// carries //detlint:allow wallclock annotations.
+var Wallclock = &analysis.Analyzer{
+	Name: "wallclock",
+	Doc: "flags time.Now/Sleep/After/AfterFunc/Since/Until/Tick/NewTimer/NewTicker " +
+		"in the deterministic simulation packages; simulated time must come from the " +
+		"canbus clock so behaviour is a pure function of inputs and seeds",
+	Run: runWallclock,
+}
+
+func runWallclock(pass *analysis.Pass) error {
+	if !deterministicPkgs[pass.Path] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || pkgPathOf(obj) != "time" || !wallclockBanned[obj.Name()] {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"time.%s reads the wall clock: deterministic packages must take time from the canbus simulated clock",
+				obj.Name())
+			return true
+		})
+	}
+	return nil
+}

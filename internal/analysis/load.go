@@ -1,0 +1,151 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed and type-checked package, ready to be
+// handed to analyzers as a Pass.
+type Package struct {
+	// Path is the import path (or the caller-chosen pseudo-path for
+	// fixture packages loaded from a bare directory).
+	Path string
+	// Fset positions all of this package's files.
+	Fset *token.FileSet
+	// Files holds the parsed non-test sources.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo records type-checker facts for Files.
+	TypesInfo *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader
+// consumes.
+type listedPackage struct {
+	Dir        string
+	ImportPath string
+	GoFiles    []string
+}
+
+// Load enumerates packages with the go command (`go list -json
+// patterns...`), then parses and type-checks each one's non-test
+// files. Dependencies — both in-module and standard library — are
+// type-checked from source by go/importer's "source" importer, which
+// needs no compiled export data, no module proxy and no network; one
+// importer instance is shared across the whole load so each
+// dependency is checked at most once per process.
+//
+// Type-check errors are returned as errors, not diagnostics: detlint
+// runs after `go build` in the lint pipeline, so a package that fails
+// to check is an environment problem, not a finding.
+func Load(patterns []string) ([]*Package, error) {
+	args := append([]string{"list", "-json", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var listed []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		if len(lp.GoFiles) > 0 {
+			listed = append(listed, lp)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+	pkgs := make([]*Package, 0, len(listed))
+	for _, lp := range listed {
+		var paths []string
+		for _, f := range lp.GoFiles {
+			paths = append(paths, filepath.Join(lp.Dir, f))
+		}
+		p, err := check(fset, imp, lp.ImportPath, paths)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// LoadDir parses and type-checks every non-test .go file directly in
+// dir as one package, pretending it has import path asPath. Fixture
+// runners use this: analyzers scope themselves by import path, so a
+// testdata package can impersonate, say, repro/internal/scenario to
+// come under a path-scoped check.
+func LoadDir(dir, asPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var paths []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		paths = append(paths, filepath.Join(dir, name))
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	sort.Strings(paths)
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+	return check(fset, imp, asPath, paths)
+}
+
+// check parses the given files and type-checks them as one package
+// under importPath.
+func check(fset *token.FileSet, imp types.Importer, importPath string, paths []string) (*Package, error) {
+	var files []*ast.File
+	for _, path := range paths {
+		af, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %v", path, err)
+		}
+		files = append(files, af)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", importPath, err)
+	}
+	return &Package{
+		Path:      importPath,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+	}, nil
+}

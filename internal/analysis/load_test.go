@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestLoadRealPackages drives the go-list loader over two real module
+// packages and sanity-checks the parsed and type-checked results.
+func TestLoadRealPackages(t *testing.T) {
+	pkgs, err := Load([]string{"repro/internal/detrand", "repro/internal/conc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("want 2 packages, got %d", len(pkgs))
+	}
+	byPath := map[string]*Package{}
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+	}
+	dr, ok := byPath["repro/internal/detrand"]
+	if !ok {
+		t.Fatal("repro/internal/detrand not loaded")
+	}
+	if len(dr.Files) == 0 || dr.Pkg == nil || dr.TypesInfo == nil {
+		t.Fatalf("detrand loaded incompletely: %+v", dr)
+	}
+	if dr.Pkg.Name() != "detrand" {
+		t.Errorf("package name = %q, want detrand", dr.Pkg.Name())
+	}
+	if dr.Pkg.Scope().Lookup("Mix64") == nil {
+		t.Error("type-checked detrand is missing Mix64")
+	}
+}
+
+// TestLoadBadPattern pins the error path: an unknown pattern is an
+// error, not an empty result.
+func TestLoadBadPattern(t *testing.T) {
+	if _, err := Load([]string{"repro/internal/no-such-package"}); err == nil {
+		t.Fatal("want error for unknown package pattern")
+	}
+}
+
+// TestLoadDirEmpty pins LoadDir's refusal of a directory with no Go
+// files.
+func TestLoadDirEmpty(t *testing.T) {
+	if _, err := LoadDir(t.TempDir(), "example.invalid/empty"); err == nil {
+		t.Fatal("want error for directory without Go files")
+	}
+}
+
+// TestLoadDirTypeError pins the contract that a package failing to
+// type-check is an error, not a diagnostic: detlint runs after go
+// build, so a broken package is an environment problem.
+func TestLoadDirTypeError(t *testing.T) {
+	dir := t.TempDir()
+	src := "package fixture\n\nfunc f() int { return \"not an int\" }\n"
+	if err := os.WriteFile(filepath.Join(dir, "a.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LoadDir(dir, "example.invalid/broken")
+	if err == nil || !strings.Contains(err.Error(), "type-checking") {
+		t.Fatalf("want type-checking error, got %v", err)
+	}
+}
+
+// TestFindingString pins the editor-clickable finding format.
+func TestFindingString(t *testing.T) {
+	pkg := loadSrc(t, "package fixture\n\nfunc f() {}\n\nfunc g() { f() }\n")
+	findings, err := Run([]*Analyzer{stubAnalyzer}, []*Package{pkg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("want 1 finding, got %d", len(findings))
+	}
+	s := findings[0].String()
+	if !strings.HasSuffix(s, "a.go:5:12: stub: call") {
+		t.Errorf("finding format %q does not end in file:line:col: check: message", s)
+	}
+}

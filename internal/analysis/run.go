@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Run executes every analyzer over every package, applies the
+// //detlint:allow suppressions, and returns the surviving findings
+// sorted by position. Three kinds of findings come back:
+//
+//   - analyzer diagnostics that no annotation covers;
+//   - malformed annotations (unknown check, missing reason);
+//   - unused annotations — an allowance that suppressed nothing is
+//     dead weight that would hide a future regression, so it is a
+//     finding too. This is what makes the acceptance property hold
+//     in both directions: deleting a load-bearing annotation fails
+//     the build (the diagnostic resurfaces), and deleting the code
+//     under an annotation fails the build (the annotation goes
+//     unused).
+//
+// An analyzer returning an error aborts the run: that is an internal
+// failure, not a finding.
+func Run(analyzers []*Analyzer, pkgs []*Package) ([]Finding, error) {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+
+	var findings []Finding
+	for _, pkg := range pkgs {
+		allows, bad := parseAllows(pkg, known)
+		findings = append(findings, bad...)
+
+		var diags []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Pkg,
+				TypesInfo: pkg.TypesInfo,
+				Path:      pkg.Path,
+				report:    func(d Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analyzer %s on %s: %v", a.Name, pkg.Path, err)
+			}
+		}
+
+	diagnostics:
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			// Same-line annotations claim their diagnostics before any
+			// annotation from the line above reaches down.
+			for _, sameLine := range [2]bool{true, false} {
+				for _, a := range allows {
+					if a.suppresses(d.Check, pos, sameLine) {
+						continue diagnostics
+					}
+				}
+			}
+			findings = append(findings, Finding{Position: pos, Check: d.Check, Message: d.Message})
+		}
+
+		for _, a := range allows {
+			if !a.used {
+				findings = append(findings, Finding{
+					Position: a.position,
+					Check:    hygieneCheck,
+					Message:  fmt.Sprintf("unused annotation: no %s diagnostic on this line or the next — delete it or move it to the code it excuses", a.check),
+				})
+			}
+		}
+	}
+
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		return a.Check < b.Check
+	})
+	return findings, nil
+}

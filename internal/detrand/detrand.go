@@ -42,6 +42,8 @@ type Reader struct{ state uint64 }
 // NewReader returns a deterministic byte stream for the seed.
 func NewReader(seed uint64) io.Reader { return &Reader{state: seed} }
 
+// Read fills p from the splitmix64 stream. It never fails and always
+// fills the whole slice, so err is always nil and n == len(p).
 func (r *Reader) Read(p []byte) (int, error) {
 	for i := range p {
 		if i%8 == 0 {

@@ -63,6 +63,8 @@ func (d *DeferredPoint) Normalize() Point {
 // BatchNormalize. The dispatch (degenerate scalars, infinity Q,
 // backend selection) mirrors CombinedMult exactly, so normalizing the
 // result is bit-identical to the eager call.
+//
+//detlint:allow hotpath scalar reduction mod N at the public big.Int boundary: two O(1) allocs before the limb-pure loop
 func (c *Curve) CombinedMultDeferred(q Point, u1, u2 *big.Int) DeferredPoint {
 	u1r := new(big.Int).Mod(u1, c.N)
 	u2r := new(big.Int).Mod(u2, c.N)
@@ -112,6 +114,8 @@ func (c *Curve) qTableAdd(qTable []*jacobianPoint) func(*jacobianPoint, int8) *j
 // CombinedMultDeferred is MultTable.CombinedMult with the affine
 // conversion deferred — the batch-verification hot path against a
 // cached signer table.
+//
+//detlint:allow hotpath scalar reduction mod N at the public big.Int boundary: two O(1) allocs before the limb-pure loop
 func (t *MultTable) CombinedMultDeferred(u1, u2 *big.Int) DeferredPoint {
 	c := t.c
 	u1r := new(big.Int).Mod(u1, c.N)

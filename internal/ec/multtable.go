@@ -49,6 +49,8 @@ func (t *MultTable) Curve() *Curve { return t.c }
 
 // wnafAccumulateAffine adds k·Q into acc through the cached affine
 // table (fp backend).
+//
+//detlint:allow hotpath takes the reduced scalar as big.Int at the recoding boundary; wnafFixed recodes it allocation-free
 func (t *MultTable) wnafAccumulateAffine(acc *fpJac, kr *big.Int, s *fpScratch) {
 	var dbuf [264]int8
 	digits := wnafFixed(kr, wnafWindow, dbuf[:])
@@ -64,6 +66,8 @@ func (t *MultTable) wnafAccumulateAffine(acc *fpJac, kr *big.Int, s *fpScratch) 
 }
 
 // ScalarMult returns k·Q using the cached table.
+//
+//detlint:allow hotpath scalar reduction mod N at the public big.Int boundary before the limb-pure table walk
 func (t *MultTable) ScalarMult(k *big.Int) Point {
 	c := t.c
 	if t.q.IsInfinity() {
@@ -85,6 +89,8 @@ func (t *MultTable) ScalarMult(k *big.Int) Point {
 
 // CombinedMult returns u1·G + u2·Q using the cached table for the Q
 // term — the steady-state ECDSA-verify path against a known signer.
+//
+//detlint:allow hotpath scalar reduction mod N at the public big.Int boundary: two O(1) allocs before the limb-pure loop
 func (t *MultTable) CombinedMult(u1, u2 *big.Int) Point {
 	c := t.c
 	u1r := new(big.Int).Mod(u1, c.N)

@@ -142,6 +142,7 @@ func us(d time.Duration) float64 { return float64(d) / float64(time.Microsecond)
 // Table II labels.
 func stepAccounts(snap map[byte]transport.StepCost) []StepAccount {
 	out := make([]StepAccount, 0, len(snap))
+	//detlint:allow maporder rows are sorted by Step label below before anything emits them
 	for op, c := range snap {
 		label, ok := core.StepLabel(op)
 		if !ok {
